@@ -1,0 +1,46 @@
+// Figure 4 — "Aggregated UDP goodput with Turris Omnia."
+//
+// An iperf3-like UDP flow is offered at 1 Gbps through the CPE for payload
+// sizes 200..1400 bytes, in three configurations: plain IPv6 forwarding,
+// kernel SRv6 decapsulation, and the eBPF WRR encapsulation running on the
+// interpreter (the ARM32 JIT bug, §4.2).
+//
+// Paper anchors: the Turris CPU is the bottleneck at small payloads; the
+// kernel decap costs ~10% vs plain forwarding; the eBPF WRR (interpreter) is
+// clearly slower but approaches the baseline at 1400-byte payloads where the
+// 1 Gbps line is the limit.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "usecases/hybrid.h"
+
+using namespace srv6bpf;
+using namespace srv6bpf::bench;
+
+int main() {
+  print_header("Figure 4: aggregated UDP goodput through the Turris Omnia",
+               "CPU-bound rising curves; decap ~10% below plain forwarding; "
+               "eBPF WRR (interpreter) lowest, converging at 1400 B");
+
+  const std::size_t payloads[] = {200, 400, 600, 800, 1000, 1200, 1400};
+  const sim::TimeNs duration = 200 * sim::kMilli;
+
+  std::printf("\n%8s %18s %18s %18s\n", "payload", "IPv6 forward.",
+              "Kernel decap.", "eBPF WRR");
+  std::printf("%8s %18s %18s %18s\n", "(bytes)", "(Mbps)", "(Mbps)", "(Mbps)");
+  for (const std::size_t payload : payloads) {
+    double mbps[3];
+    const usecases::Fig4Lab::Mode modes[] = {
+        usecases::Fig4Lab::Mode::kPlainForward,
+        usecases::Fig4Lab::Mode::kKernelDecap,
+        usecases::Fig4Lab::Mode::kEbpfWrr,
+    };
+    for (int m = 0; m < 3; ++m) {
+      usecases::Fig4Lab lab({.mode = modes[m]});
+      mbps[m] = lab.run_udp(payload, duration);
+    }
+    std::printf("%8zu %18.1f %18.1f %18.1f\n", payload, mbps[0], mbps[1],
+                mbps[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the eBPF machinery itself: engine
+// dispatch, helper call overhead, map operations, verifier load time.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "ebpf/asm.h"
+#include "ebpf/helpers.h"
+#include "ebpf/map.h"
+#include "ebpf/perf_event.h"
+#include "ebpf/vm.h"
+#include "usecases/programs.h"
+
+namespace {
+
+using namespace srv6bpf;
+using namespace srv6bpf::ebpf;
+
+// Straight-line ALU program of ~n instructions (no loops allowed in eBPF).
+std::vector<Insn> alu_chain(int n) {
+  Asm a;
+  a.mov64_imm(R0, 1);
+  for (int i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0: a.add64_imm(R0, 7); break;
+      case 1: a.mul64_imm(R0, 3); break;
+      case 2: a.xor64_imm(R0, 0x55aa); break;
+      case 3: a.rsh64_imm(R0, 1); break;
+    }
+  }
+  a.exit_();
+  return a.build();
+}
+
+void BM_EngineAluChain(benchmark::State& state, bool jit) {
+  BpfSystem sys;
+  auto load = sys.load("alu", ProgType::kLwtSeg6Local, alu_chain(512));
+  if (!load.ok()) {
+    state.SkipWithError(load.verify.error.c_str());
+    return;
+  }
+  ExecEnv env;
+  for (auto _ : state) {
+    const auto r = jit ? sys.run_jit(*load.prog, env, 0)
+                       : sys.run_interpreted(*load.prog, env, 0);
+    benchmark::DoNotOptimize(r.ret);
+  }
+  state.SetItemsProcessed(state.iterations() * 514);
+}
+BENCHMARK_CAPTURE(BM_EngineAluChain, jit, true);
+BENCHMARK_CAPTURE(BM_EngineAluChain, interp, false);
+
+void BM_HelperCallOverhead(benchmark::State& state) {
+  BpfSystem sys;
+  Asm a;
+  for (int i = 0; i < 16; ++i) a.call(helper::KTIME_GET_NS);
+  a.exit_();
+  auto load = sys.load("calls", ProgType::kLwtSeg6Local, a.build());
+  ExecEnv env;
+  env.now_ns = [] { return 1ull; };
+  for (auto _ : state) {
+    const auto r = sys.run_jit(*load.prog, env, 0);
+    benchmark::DoNotOptimize(r.ret);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_HelperCallOverhead);
+
+void BM_MapLookupFromBpf(benchmark::State& state) {
+  BpfSystem sys;
+  MapDef def{MapType::kArray, 4, 8, 4, "m"};
+  const auto id = sys.maps().create(def);
+  Asm a;
+  a.st(BPF_W, R10, -4, 0)
+      .ld_map(R1, id)
+      .mov64_reg(R2, R10)
+      .add64_imm(R2, -4)
+      .call(helper::MAP_LOOKUP_ELEM)
+      .jeq_imm(R0, 0, "miss")
+      .ldx(BPF_DW, R0, R0, 0)
+      .exit_()
+      .label("miss")
+      .mov64_imm(R0, 0)
+      .exit_();
+  auto load = sys.load("lookup", ProgType::kLwtSeg6Local, a.build());
+  ExecEnv env;
+  for (auto _ : state) {
+    const auto r = sys.run_jit(*load.prog, env, 0);
+    benchmark::DoNotOptimize(r.ret);
+  }
+}
+BENCHMARK(BM_MapLookupFromBpf);
+
+void BM_VerifierLoad(benchmark::State& state) {
+  const auto built = usecases::build_end_dm(1);
+  for (auto _ : state) {
+    BpfSystem sys;
+    create_perf_event_array(sys.maps(), "perf");
+    auto load = sys.load(built.name, ProgType::kLwtSeg6Local, built.insns);
+    benchmark::DoNotOptimize(load.ok());
+  }
+}
+BENCHMARK(BM_VerifierLoad);
+
+void BM_LpmTrieLookup(benchmark::State& state) {
+  MapDef def{MapType::kLpmTrie, 20, 4, 1024, "lpm"};
+  auto map = make_map(def);
+  // 64 random /48 prefixes.
+  std::uint64_t x = 42;
+  for (int i = 0; i < 64; ++i) {
+    std::uint8_t key[20] = {};
+    const std::uint32_t plen = 48;
+    std::memcpy(key, &plen, 4);
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::memcpy(key + 4, &x, 6);
+    const std::uint32_t v = static_cast<std::uint32_t>(i);
+    map->update(key, {reinterpret_cast<const std::uint8_t*>(&v), 4}, 0);
+  }
+  std::uint8_t query[20] = {};
+  const std::uint32_t plen = 128;
+  std::memcpy(query, &plen, 4);
+  for (auto _ : state) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::memcpy(query + 4, &x, 8);
+    benchmark::DoNotOptimize(map->lookup(query));
+  }
+}
+BENCHMARK(BM_LpmTrieLookup);
+
+}  // namespace

@@ -1,0 +1,42 @@
+#include "apps/daemons.h"
+
+#include <cstring>
+
+#include "net/checksum.h"
+#include "net/transport.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::apps {
+
+void send_udp(sim::Node& node, const net::Ipv6Addr& src,
+              const net::Ipv6Addr& dst, std::uint16_t sport,
+              std::uint16_t dport, std::span<const std::uint8_t> payload) {
+  const std::size_t udp_len = net::kUdpHeaderSize + payload.size();
+  net::Packet pkt;
+  std::uint8_t* p = pkt.push_front(net::kIpv6HeaderSize + udp_len);
+
+  net::Ipv6Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.next_header = net::kProtoUdp;
+  ip.hop_limit = 64;
+  ip.payload_length = static_cast<std::uint16_t>(udp_len);
+  ip.write(p);
+
+  net::UdpHeader uh;
+  uh.src_port = sport;
+  uh.dst_port = dport;
+  uh.length = static_cast<std::uint16_t>(udp_len);
+  uh.checksum = 0;
+  uh.write(p + net::kIpv6HeaderSize);
+  if (!payload.empty())
+    std::memcpy(p + net::kIpv6HeaderSize + net::kUdpHeaderSize, payload.data(),
+                payload.size());
+
+  const std::uint16_t csum = net::transport_checksum(
+      src, dst, net::kProtoUdp, {p + net::kIpv6HeaderSize, udp_len});
+  store_be16(p + net::kIpv6HeaderSize + 6, csum);
+  node.send(std::move(pkt));
+}
+
+}  // namespace srv6bpf::apps

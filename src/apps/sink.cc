@@ -1,0 +1,49 @@
+#include "apps/sink.h"
+
+namespace srv6bpf::apps {
+
+AppMux::AppMux(sim::Node& node) : node_(node) {
+  node_.set_local_handler([this](net::Packet&& pkt, sim::TimeNs now) {
+    deliver(std::move(pkt), now);
+  });
+}
+
+void AppMux::deliver(net::Packet&& pkt, sim::TimeNs now) {
+  const auto loc = net::locate_transport(pkt);
+  if (loc) {
+    const std::span<const std::uint8_t> from_transport{
+        pkt.data() + loc->offset, pkt.size() - loc->offset};
+    if (loc->proto == net::kProtoUdp) {
+      if (auto udp = net::UdpHeader::parse(from_transport)) {
+        auto it = udp_.find(udp->dst_port);
+        if (it != udp_.end()) {
+          it->second(pkt, *udp,
+                     from_transport.subspan(net::kUdpHeaderSize), now);
+          return;
+        }
+      }
+    } else if (loc->proto == net::kProtoTcp) {
+      if (auto tcp = net::TcpHeader::parse(from_transport)) {
+        auto it = tcp_.find(tcp->dst_port);
+        if (it != tcp_.end()) {
+          it->second(pkt, *tcp,
+                     from_transport.subspan(net::kTcpHeaderSize), now);
+          return;
+        }
+      }
+    }
+  }
+  if (raw_) {
+    raw_(pkt, now);
+    return;
+  }
+  ++unmatched_;
+}
+
+UdpSink::UdpSink(AppMux& mux, std::uint16_t port) {
+  mux.on_udp(port, [this](const net::Packet&, const net::UdpHeader&,
+                          std::span<const std::uint8_t> payload,
+                          sim::TimeNs) { meter_.record(payload.size()); });
+}
+
+}  // namespace srv6bpf::apps

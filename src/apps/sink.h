@@ -1,0 +1,64 @@
+// Local packet delivery plumbing for hosts: a per-node demultiplexer (AppMux)
+// and the counting sinks the benchmarks read their kpps/goodput numbers from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "net/packet.h"
+#include "net/transport.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+
+namespace srv6bpf::apps {
+
+// Installs itself as the node's local handler and dispatches by transport
+// protocol + destination port. At most one AppMux per node.
+class AppMux {
+ public:
+  explicit AppMux(sim::Node& node);
+
+  using UdpHandler = std::function<void(
+      const net::Packet& pkt, const net::UdpHeader& udp,
+      std::span<const std::uint8_t> payload, sim::TimeNs now)>;
+  using TcpHandler = std::function<void(
+      const net::Packet& pkt, const net::TcpHeader& tcp,
+      std::span<const std::uint8_t> payload, sim::TimeNs now)>;
+  using RawHandler = std::function<void(const net::Packet& pkt,
+                                        sim::TimeNs now)>;
+
+  void on_udp(std::uint16_t port, UdpHandler h) { udp_[port] = std::move(h); }
+  void on_tcp(std::uint16_t port, TcpHandler h) { tcp_[port] = std::move(h); }
+  // Fallback for everything else (ICMPv6, unmatched ports).
+  void on_raw(RawHandler h) { raw_ = std::move(h); }
+
+  sim::Node& node() noexcept { return node_; }
+  std::uint64_t unmatched() const noexcept { return unmatched_; }
+
+ private:
+  void deliver(net::Packet&& pkt, sim::TimeNs now);
+
+  sim::Node& node_;
+  std::map<std::uint16_t, UdpHandler> udp_;
+  std::map<std::uint16_t, TcpHandler> tcp_;
+  RawHandler raw_;
+  std::uint64_t unmatched_ = 0;
+};
+
+// Counts UDP datagrams to a port: the S2 "sink" of the paper's setup 1.
+class UdpSink {
+ public:
+  UdpSink(AppMux& mux, std::uint16_t port);
+
+  std::uint64_t packets() const noexcept { return meter_.packets(); }
+  std::uint64_t payload_bytes() const noexcept { return meter_.bytes(); }
+  const sim::RateMeter& meter() const noexcept { return meter_; }
+  void reset() { meter_.reset(); }
+
+ private:
+  sim::RateMeter meter_;
+};
+
+}  // namespace srv6bpf::apps

@@ -1,0 +1,41 @@
+#include "apps/trafgen.h"
+
+#include "util/byteorder.h"
+
+namespace srv6bpf::apps {
+
+TrafGen::TrafGen(sim::Node& node, Config cfg)
+    : node_(node), cfg_(cfg), t_template_(net::make_udp_packet(cfg.spec)),
+      interval_ns_(static_cast<sim::TimeNs>(1e9 / cfg.pps)) {
+  if (interval_ns_ == 0) interval_ns_ = 1;
+}
+
+void TrafGen::start() {
+  stop_at_ = cfg_.start_at + cfg_.duration;
+  next_send_ = cfg_.start_at;
+  node_.loop().schedule_at(cfg_.start_at, [this] { tick(); });
+}
+
+void TrafGen::tick() {
+  const sim::TimeNs now = node_.loop().now();
+  if (now >= stop_at_) return;
+
+  net::Packet pkt = t_template_;  // copy the prebuilt frame
+  pkt.seq = static_cast<std::uint32_t>(sent_);
+  if (cfg_.src_port_spread > 1) {
+    // Rotate the UDP source port in place (offset depends on SRH presence).
+    const auto loc = net::locate_transport(pkt);
+    if (loc && loc->proto == net::kProtoUdp) {
+      const std::uint16_t port = static_cast<std::uint16_t>(
+          cfg_.spec.src_port + sent_ % cfg_.src_port_spread);
+      store_be16(pkt.data() + loc->offset, port);
+    }
+  }
+  node_.send(std::move(pkt));
+  ++sent_;
+
+  next_send_ += interval_ns_;
+  node_.loop().schedule_at(next_send_, [this] { tick(); });
+}
+
+}  // namespace srv6bpf::apps

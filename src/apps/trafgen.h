@@ -1,0 +1,42 @@
+// Constant-rate UDP packet generator — the trafgen/pktgen stand-in used to
+// offer 3 Mpps of 64-byte SRv6 traffic in §3.2.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace srv6bpf::apps {
+
+class TrafGen {
+ public:
+  struct Config {
+    net::PacketSpec spec;
+    double pps = 1000.0;
+    sim::TimeNs start_at = 0;
+    sim::TimeNs duration = sim::kSecond;
+    // Vary the UDP source port across packets so ECMP/flow hashing sees many
+    // flows (trafgen's port randomisation).
+    std::uint16_t src_port_spread = 1;
+  };
+
+  TrafGen(sim::Node& node, Config cfg);
+
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void tick();
+
+  sim::Node& node_;
+  Config cfg_;
+  net::Packet t_template_;
+  sim::TimeNs interval_ns_;
+  sim::TimeNs stop_at_ = 0;
+  std::uint64_t sent_ = 0;
+  sim::TimeNs next_send_ = 0;
+};
+
+}  // namespace srv6bpf::apps

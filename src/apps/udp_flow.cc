@@ -1,0 +1,35 @@
+#include "apps/udp_flow.h"
+
+namespace srv6bpf::apps {
+
+UdpFlowSender::UdpFlowSender(sim::Node& node, Config cfg)
+    : node_(node), cfg_(cfg) {
+  net::PacketSpec spec;
+  spec.src = cfg.src;
+  spec.dst = cfg.dst;
+  spec.src_port = cfg.src_port;
+  spec.dst_port = cfg.dst_port;
+  spec.payload_size = cfg.payload_size;
+  t_template_ = net::make_udp_packet(spec);
+
+  const double pps = cfg.rate_bps / (static_cast<double>(cfg.payload_size) * 8);
+  interval_ns_ = pps > 0 ? static_cast<sim::TimeNs>(1e9 / pps) : sim::kSecond;
+  if (interval_ns_ == 0) interval_ns_ = 1;
+}
+
+void UdpFlowSender::start() {
+  stop_at_ = cfg_.start_at + cfg_.duration;
+  next_send_ = cfg_.start_at;
+  node_.loop().schedule_at(cfg_.start_at, [this] { tick(); });
+}
+
+void UdpFlowSender::tick() {
+  if (node_.loop().now() >= stop_at_) return;
+  net::Packet pkt = t_template_;
+  pkt.seq = static_cast<std::uint32_t>(sent_++);
+  node_.send(std::move(pkt));
+  next_send_ += interval_ns_;
+  node_.loop().schedule_at(next_send_, [this] { tick(); });
+}
+
+}  // namespace srv6bpf::apps

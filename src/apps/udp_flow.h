@@ -1,0 +1,43 @@
+// iperf3-style UDP flow: fixed payload size at a target bitrate, with a
+// matching receiver that reports goodput (Figure 4's workload).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/sink.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/node.h"
+
+namespace srv6bpf::apps {
+
+class UdpFlowSender {
+ public:
+  struct Config {
+    net::Ipv6Addr src;
+    net::Ipv6Addr dst;
+    std::uint16_t src_port = 5201;
+    std::uint16_t dst_port = 5201;
+    std::size_t payload_size = 1400;
+    double rate_bps = 1e9;  // offered goodput rate (payload bits/sec)
+    sim::TimeNs start_at = 0;
+    sim::TimeNs duration = sim::kSecond;
+  };
+
+  UdpFlowSender(sim::Node& node, Config cfg);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void tick();
+
+  sim::Node& node_;
+  Config cfg_;
+  net::Packet t_template_;
+  sim::TimeNs interval_ns_;
+  sim::TimeNs stop_at_ = 0;
+  sim::TimeNs next_send_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace srv6bpf::apps

@@ -1,0 +1,73 @@
+// Execution environment shared by the eBPF interpreter and the JIT engine.
+//
+// eBPF pointers are real host pointers (as in the kernel). The verifier is
+// the primary safety mechanism; on top of it, both engines perform runtime
+// bounds checks against the region list below (defense in depth — a verifier
+// bug must not corrupt the simulator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace srv6bpf::ebpf {
+
+class MapRegistry;
+class HelperRegistry;
+
+struct MemRegion {
+  std::uintptr_t base = 0;
+  std::size_t len = 0;
+  bool writable = false;
+
+  bool contains(std::uintptr_t addr, std::size_t n) const noexcept {
+    return addr >= base && n <= len && addr - base <= len - n;
+  }
+};
+
+// Everything a running program may touch. Built by the attachment point
+// (seg6local End.BPF, LWT hook, or a test fixture) before each run.
+struct ExecEnv {
+  MapRegistry* maps = nullptr;
+  HelperRegistry* helpers = nullptr;
+
+  // Opaque per-invocation state for helper implementations (e.g. the
+  // Seg6ProgramCtx carrying the packet and the node's FIB).
+  void* user = nullptr;
+
+  // Monotonic clock for bpf_ktime_get_ns; defaults to 0 if unset.
+  std::function<std::uint64_t()> now_ns;
+
+  // Valid memory regions: the program context and (for packet programs) the
+  // packet bytes. The engines add the stack themselves.
+  std::vector<MemRegion> regions;
+
+  // Deterministic source for bpf_get_prandom_u32.
+  std::function<std::uint32_t()> prandom;
+
+  bool readable(const void* p, std::size_t n) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    for (const MemRegion& r : regions)
+      if (r.contains(a, n)) return true;
+    return false;
+  }
+  bool writable(const void* p, std::size_t n) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    for (const MemRegion& r : regions)
+      if (r.writable && r.contains(a, n)) return true;
+    return false;
+  }
+};
+
+struct ExecResult {
+  std::uint64_t ret = 0;
+  std::uint64_t insns_executed = 0;
+  std::uint64_t helper_calls = 0;
+  bool aborted = false;      // runtime fault (bad access, div-by-zero trap...)
+  std::string error;
+
+  bool ok() const noexcept { return !aborted; }
+};
+
+}  // namespace srv6bpf::ebpf

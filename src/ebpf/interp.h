@@ -1,0 +1,23 @@
+// The eBPF interpreter: the slow-but-simple execution engine, analogous to
+// the kernel's ___bpf_prog_run(). Decodes every instruction on every step and
+// bounds-checks each memory access against the environment's region list.
+//
+// The JIT-style engine (ebpf/jit.h) runs the same programs from a pre-decoded
+// representation; the throughput difference between the two engines is the
+// subject of the paper's §3.2 JIT experiment.
+#pragma once
+
+#include "ebpf/exec.h"
+#include "ebpf/program.h"
+
+namespace srv6bpf::ebpf {
+
+class Interpreter {
+ public:
+  // Executes a verified program. `ctx` is the address of the program context
+  // (a SkbCtx for LWT/seg6local programs). The caller must have populated
+  // env.regions with the ctx and packet ranges.
+  ExecResult run(const Program& prog, ExecEnv& env, std::uint64_t ctx) const;
+};
+
+}  // namespace srv6bpf::ebpf

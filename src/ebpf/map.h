@@ -1,0 +1,120 @@
+// eBPF maps: persistent key/value stores shared between eBPF programs and
+// "user space" (in this repository, the applications and daemons in
+// src/apps). Mirrors the kernel map model: fixed key/value sizes declared at
+// creation, lookups return stable pointers into the map's storage, updates
+// copy the caller's buffer in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srv6bpf::ebpf {
+
+enum class MapType {
+  kArray,
+  kHash,
+  kPerCpuArray,  // single-CPU simulator: behaves like kArray, kept for API parity
+  kLpmTrie,
+  kPerfEventArray,  // bpf_perf_event_output target (see ebpf/perf_event.h)
+};
+
+// Update flags (include/uapi/linux/bpf.h).
+inline constexpr std::uint64_t BPF_ANY = 0;      // create or update
+inline constexpr std::uint64_t BPF_NOEXIST = 1;  // create only
+inline constexpr std::uint64_t BPF_EXIST = 2;    // update only
+
+// Errors follow the kernel convention of negative errno values.
+inline constexpr int kOk = 0;
+inline constexpr int kErrNoEnt = -2;    // -ENOENT
+inline constexpr int kErrInval = -22;   // -EINVAL
+inline constexpr int kErrExist = -17;   // -EEXIST
+inline constexpr int kErrNoSpace = -28; // -ENOSPC
+
+struct MapDef {
+  MapType type = MapType::kArray;
+  std::uint32_t key_size = 4;
+  std::uint32_t value_size = 8;
+  std::uint32_t max_entries = 1;
+  std::string name;
+};
+
+class Map {
+ public:
+  explicit Map(MapDef def) : def_(std::move(def)) {}
+  virtual ~Map() = default;
+
+  Map(const Map&) = delete;
+  Map& operator=(const Map&) = delete;
+
+  const MapDef& def() const noexcept { return def_; }
+  std::uint32_t key_size() const noexcept { return def_.key_size; }
+  std::uint32_t value_size() const noexcept { return def_.value_size; }
+  std::uint32_t max_entries() const noexcept { return def_.max_entries; }
+
+  // Returns a pointer to the stored value (stable until the entry is deleted
+  // or the map destroyed), or nullptr if the key is absent. The eBPF verifier
+  // forces programs to null-check this before dereferencing.
+  virtual std::uint8_t* lookup(std::span<const std::uint8_t> key) = 0;
+
+  // Copies `value` in. Returns 0 or a negative errno.
+  virtual int update(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> value,
+                     std::uint64_t flags) = 0;
+
+  // Returns 0 or -ENOENT.
+  virtual int erase(std::span<const std::uint8_t> key) = 0;
+
+  // Number of live entries (arrays always report max_entries).
+  virtual std::size_t size() const = 0;
+
+  // ---- Typed convenience accessors for user-space-side code -----------------
+  template <typename K, typename V>
+  int put(const K& key, const V& value, std::uint64_t flags = BPF_ANY) {
+    static_assert(std::is_trivially_copyable_v<K> &&
+                  std::is_trivially_copyable_v<V>);
+    return update({reinterpret_cast<const std::uint8_t*>(&key), sizeof key},
+                  {reinterpret_cast<const std::uint8_t*>(&value), sizeof value},
+                  flags);
+  }
+  template <typename K>
+  std::uint8_t* find(const K& key) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    return lookup({reinterpret_cast<const std::uint8_t*>(&key), sizeof key});
+  }
+
+ protected:
+  bool key_ok(std::span<const std::uint8_t> key) const noexcept {
+    return key.size() == def_.key_size;
+  }
+  bool value_ok(std::span<const std::uint8_t> value) const noexcept {
+    return value.size() == def_.value_size;
+  }
+
+ private:
+  MapDef def_;
+};
+
+std::unique_ptr<Map> make_map(const MapDef& def);
+
+// Owns maps and hands out the small integer ids that LD_IMM64/PSEUDO_MAP_FD
+// instructions embed (the userspace-fd analogue).
+class MapRegistry {
+ public:
+  // Creates a map and returns its id (ids start at 1; 0 means "no map").
+  std::uint32_t create(const MapDef& def);
+  // Registers an externally constructed map (e.g. PerfEventArrayMap with a
+  // custom ring capacity) and returns its id.
+  std::uint32_t create_with(std::unique_ptr<Map> map);
+  // nullptr for unknown ids.
+  Map* get(std::uint32_t id) noexcept;
+  const Map* get(std::uint32_t id) const noexcept;
+  std::size_t count() const noexcept { return maps_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Map>> maps_;
+};
+
+}  // namespace srv6bpf::ebpf

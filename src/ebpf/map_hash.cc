@@ -1,0 +1,45 @@
+#include <cstring>
+
+#include "ebpf/map_impl.h"
+
+namespace srv6bpf::ebpf {
+
+std::uint8_t* HashMap::lookup(std::span<const std::uint8_t> key) {
+  if (!key_ok(key)) return nullptr;
+  auto it = entries_.find(std::vector<std::uint8_t>(key.begin(), key.end()));
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+int HashMap::update(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> value, std::uint64_t flags) {
+  if (!key_ok(key) || !value_ok(value)) return kErrInval;
+  if (flags > BPF_EXIST) return kErrInval;
+  std::vector<std::uint8_t> k(key.begin(), key.end());
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    if (flags == BPF_NOEXIST) return kErrExist;
+    std::memcpy(it->second.get(), value.data(), value.size());
+    return kOk;
+  }
+  if (flags == BPF_EXIST) return kErrNoEnt;
+  if (entries_.size() >= max_entries()) return kErrNoSpace;
+  auto buf = std::make_unique<std::uint8_t[]>(value_size());
+  std::memcpy(buf.get(), value.data(), value.size());
+  entries_.emplace(std::move(k), std::move(buf));
+  return kOk;
+}
+
+int HashMap::erase(std::span<const std::uint8_t> key) {
+  if (!key_ok(key)) return kErrInval;
+  return entries_.erase(std::vector<std::uint8_t>(key.begin(), key.end())) ? kOk
+                                                                           : kErrNoEnt;
+}
+
+std::vector<std::vector<std::uint8_t>> HashMap::keys() const {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+}  // namespace srv6bpf::ebpf

@@ -1,0 +1,86 @@
+// Concrete map implementations. Internal header — user code goes through
+// Map / MapRegistry (ebpf/map.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ebpf/map.h"
+
+namespace srv6bpf::ebpf {
+
+// BPF_MAP_TYPE_ARRAY: dense u32-indexed array, preallocated, entries can
+// never be deleted (delete returns -EINVAL, as in the kernel).
+class ArrayMap final : public Map {
+ public:
+  explicit ArrayMap(const MapDef& def);
+
+  std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) override;
+  int erase(std::span<const std::uint8_t> key) override;
+  std::size_t size() const override { return max_entries(); }
+
+ private:
+  std::uint8_t* slot(std::uint32_t index) noexcept {
+    return storage_.data() + static_cast<std::size_t>(index) * value_size();
+  }
+  std::vector<std::uint8_t> storage_;
+};
+
+// BPF_MAP_TYPE_HASH: arbitrary fixed-size byte keys. Values live in
+// individually allocated buffers so lookup pointers stay stable across
+// rehashes of the index.
+class HashMap final : public Map {
+ public:
+  explicit HashMap(const MapDef& def) : Map(def) {}
+
+  std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) override;
+  int erase(std::span<const std::uint8_t> key) override;
+  std::size_t size() const override { return entries_.size(); }
+
+  // Iteration support for user-space dumps (bpf_map_get_next_key analogue).
+  std::vector<std::vector<std::uint8_t>> keys() const;
+
+ private:
+  // std::map keeps deterministic iteration order for reproducible dumps.
+  std::map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>> entries_;
+};
+
+// BPF_MAP_TYPE_LPM_TRIE: longest-prefix-match over big-endian bit strings.
+// Key layout matches struct bpf_lpm_trie_key: a host-endian u32 prefix length
+// followed by (key_size - 4) data bytes, most significant bit first.
+class LpmTrieMap final : public Map {
+ public:
+  explicit LpmTrieMap(const MapDef& def)
+      : Map(def), max_prefixlen_((def.key_size - 4) * 8) {}
+
+  std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) override;
+  int erase(std::span<const std::uint8_t> key) override;
+  std::size_t size() const override { return entry_count_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::unique_ptr<std::uint8_t[]> value;  // null for intermediate nodes
+  };
+
+  static int bit_at(std::span<const std::uint8_t> data, std::uint32_t i) {
+    return (data[i / 8] >> (7 - i % 8)) & 1;
+  }
+
+  std::uint32_t max_prefixlen_;
+  Node root_;
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace srv6bpf::ebpf

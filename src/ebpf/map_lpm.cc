@@ -1,0 +1,65 @@
+#include <cstring>
+
+#include "ebpf/map_impl.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::ebpf {
+
+std::uint8_t* LpmTrieMap::lookup(std::span<const std::uint8_t> key) {
+  if (!key_ok(key)) return nullptr;
+  // Lookups ignore the caller's prefixlen and match the full key, returning
+  // the most specific stored prefix (kernel semantics).
+  const std::span<const std::uint8_t> data = key.subspan(4);
+  Node* node = &root_;
+  std::uint8_t* best = root_.value.get();
+  for (std::uint32_t i = 0; i < max_prefixlen_; ++i) {
+    node = node->child[bit_at(data, i)].get();
+    if (node == nullptr) break;
+    if (node->value) best = node->value.get();
+  }
+  return best;
+}
+
+int LpmTrieMap::update(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> value,
+                       std::uint64_t flags) {
+  if (!key_ok(key) || !value_ok(value)) return kErrInval;
+  if (flags > BPF_EXIST) return kErrInval;
+  const std::uint32_t prefixlen = load_unaligned<std::uint32_t>(key.data());
+  if (prefixlen > max_prefixlen_) return kErrInval;
+  const std::span<const std::uint8_t> data = key.subspan(4);
+
+  Node* node = &root_;
+  for (std::uint32_t i = 0; i < prefixlen; ++i) {
+    auto& child = node->child[bit_at(data, i)];
+    if (!child) child = std::make_unique<Node>();
+    node = child.get();
+  }
+  if (node->value) {
+    if (flags == BPF_NOEXIST) return kErrExist;
+    std::memcpy(node->value.get(), value.data(), value.size());
+    return kOk;
+  }
+  if (flags == BPF_EXIST) return kErrNoEnt;
+  if (entry_count_ >= max_entries()) return kErrNoSpace;
+  node->value = std::make_unique<std::uint8_t[]>(value_size());
+  std::memcpy(node->value.get(), value.data(), value.size());
+  ++entry_count_;
+  return kOk;
+}
+
+int LpmTrieMap::erase(std::span<const std::uint8_t> key) {
+  if (!key_ok(key)) return kErrInval;
+  const std::uint32_t prefixlen = load_unaligned<std::uint32_t>(key.data());
+  if (prefixlen > max_prefixlen_) return kErrInval;
+  const std::span<const std::uint8_t> data = key.subspan(4);
+  Node* node = &root_;
+  for (std::uint32_t i = 0; i < prefixlen && node; ++i)
+    node = node->child[bit_at(data, i)].get();
+  if (node == nullptr || !node->value) return kErrNoEnt;
+  node->value.reset();
+  --entry_count_;
+  return kOk;
+}
+
+}  // namespace srv6bpf::ebpf

@@ -1,0 +1,34 @@
+#include "ebpf/perf_event.h"
+
+namespace srv6bpf::ebpf {
+
+bool PerfEventBuffer::push(std::uint64_t time_ns,
+                           std::span<const std::uint8_t> data) {
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  records_.push_back({time_ns, {data.begin(), data.end()}});
+  ++produced_;
+  return true;
+}
+
+std::optional<PerfRecord> PerfEventBuffer::poll() {
+  if (records_.empty()) return std::nullopt;
+  PerfRecord r = std::move(records_.front());
+  records_.pop_front();
+  return r;
+}
+
+std::uint32_t create_perf_event_array(MapRegistry& reg, const std::string& name,
+                                      std::size_t capacity) {
+  MapDef def;
+  def.type = MapType::kPerfEventArray;
+  def.key_size = 4;
+  def.value_size = 4;
+  def.max_entries = 1;
+  def.name = name;
+  return reg.create_with(std::make_unique<PerfEventArrayMap>(def, capacity));
+}
+
+}  // namespace srv6bpf::ebpf

@@ -1,0 +1,73 @@
+// Perf-event ring buffer: the asynchronous eBPF -> user space channel used by
+// the paper's delay-measurement daemon (§4.1) and the OAMP responder (§4.3).
+//
+// Modelled after BPF_MAP_TYPE_PERF_EVENT_ARRAY + the perf ring buffer: a
+// program calls bpf_perf_event_output(ctx, map, flags, data, size); user
+// space polls the buffer and drains records. A bounded capacity with a
+// drop counter reproduces the lossy nature of the real ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ebpf/map.h"
+
+namespace srv6bpf::ebpf {
+
+struct PerfRecord {
+  std::uint64_t time_ns = 0;
+  std::vector<std::uint8_t> data;
+};
+
+class PerfEventBuffer {
+ public:
+  explicit PerfEventBuffer(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  // Returns false (and counts a drop) when the ring is full.
+  bool push(std::uint64_t time_ns, std::span<const std::uint8_t> data);
+
+  // Oldest record, or nullopt when empty.
+  std::optional<PerfRecord> poll();
+
+  std::size_t pending() const noexcept { return records_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t produced() const noexcept { return produced_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<PerfRecord> records_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t produced_ = 0;
+};
+
+// The map type programs reference from bpf_perf_event_output. Lookup/update
+// on it are invalid from BPF (as in the kernel, where the values are perf fds
+// owned by user space).
+class PerfEventArrayMap final : public Map {
+ public:
+  explicit PerfEventArrayMap(const MapDef& def, std::size_t capacity = 4096)
+      : Map(def), buffer_(capacity) {}
+
+  std::uint8_t* lookup(std::span<const std::uint8_t>) override { return nullptr; }
+  int update(std::span<const std::uint8_t>, std::span<const std::uint8_t>,
+             std::uint64_t) override {
+    return kErrInval;
+  }
+  int erase(std::span<const std::uint8_t>) override { return kErrInval; }
+  std::size_t size() const override { return buffer_.pending(); }
+
+  PerfEventBuffer& buffer() noexcept { return buffer_; }
+
+ private:
+  PerfEventBuffer buffer_;
+};
+
+// Convenience: create a perf event array in `reg` and return (id, buffer).
+std::uint32_t create_perf_event_array(MapRegistry& reg, const std::string& name,
+                                      std::size_t capacity = 4096);
+
+}  // namespace srv6bpf::ebpf

@@ -1,0 +1,15 @@
+#include "ebpf/program.h"
+
+namespace srv6bpf::ebpf {
+
+const char* prog_type_name(ProgType t) noexcept {
+  switch (t) {
+    case ProgType::kLwtIn: return "lwt_in";
+    case ProgType::kLwtOut: return "lwt_out";
+    case ProgType::kLwtXmit: return "lwt_xmit";
+    case ProgType::kLwtSeg6Local: return "lwt_seg6local";
+  }
+  return "?";
+}
+
+}  // namespace srv6bpf::ebpf

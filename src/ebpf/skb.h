@@ -1,0 +1,51 @@
+// The program context ("struct __sk_buff" analogue) handed to LWT and
+// seg6local eBPF programs.
+//
+// Simplification vs the kernel: data/data_end are 64-bit host pointers
+// directly (the kernel exposes 32-bit fields and rewrites the access in the
+// verifier's ctx-conversion pass; the programmer-visible semantics are the
+// same). The verifier types a load of `data` as PTR_TO_PACKET and `data_end`
+// as PTR_TO_PACKET_END, and requires the usual bounds-check pattern before
+// any packet byte can be read.
+#pragma once
+
+#include <cstdint>
+
+namespace srv6bpf::ebpf {
+
+struct SkbCtx {
+  std::uint64_t data = 0;          // first byte of the outermost IPv6 header
+  std::uint64_t data_end = 0;      // one past the last byte
+  std::uint32_t len = 0;           // packet length in bytes
+  std::uint32_t protocol = 0;      // ETH_P_IPV6, big-endian like the kernel
+  std::uint32_t mark = 0;          // scratch, read-write
+  std::uint32_t ingress_ifindex = 0;
+  std::uint64_t tstamp_ns = 0;     // RX software timestamp (used by End.DM)
+};
+
+// Field offsets (the ABI contract between programs and the verifier).
+namespace skb_off {
+inline constexpr int kData = 0;
+inline constexpr int kDataEnd = 8;
+inline constexpr int kLen = 16;
+inline constexpr int kProtocol = 20;
+inline constexpr int kMark = 24;
+inline constexpr int kIngressIfindex = 28;
+inline constexpr int kTstamp = 32;
+}  // namespace skb_off
+
+inline constexpr int kSkbCtxSize = 40;
+
+static_assert(sizeof(SkbCtx) == kSkbCtxSize);
+static_assert(offsetof(SkbCtx, data) == skb_off::kData);
+static_assert(offsetof(SkbCtx, data_end) == skb_off::kDataEnd);
+static_assert(offsetof(SkbCtx, len) == skb_off::kLen);
+static_assert(offsetof(SkbCtx, protocol) == skb_off::kProtocol);
+static_assert(offsetof(SkbCtx, mark) == skb_off::kMark);
+static_assert(offsetof(SkbCtx, ingress_ifindex) == skb_off::kIngressIfindex);
+static_assert(offsetof(SkbCtx, tstamp_ns) == skb_off::kTstamp);
+
+// ETH_P_IPV6 in network byte order, as seen in skb->protocol.
+inline constexpr std::uint32_t kEthPIpv6Be = 0xdd86;  // htons(0x86dd) on LE
+
+}  // namespace srv6bpf::ebpf

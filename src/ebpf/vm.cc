@@ -1,0 +1,46 @@
+#include "ebpf/vm.h"
+
+namespace srv6bpf::ebpf {
+
+BpfSystem::LoadResult BpfSystem::load(std::string name, ProgType type,
+                                      std::vector<Insn> insns,
+                                      std::size_t sloc_hint) {
+  Program prog(std::move(name), type, std::move(insns));
+  prog.set_sloc_hint(sloc_hint);
+
+  Verifier verifier(&maps_, &helpers_);
+  LoadResult result;
+  result.verify = verifier.verify(prog);
+  if (!result.verify.ok) return result;
+
+  prog.set_verified();
+  Jit jit(&helpers_);
+  auto compiled = jit.compile(prog);
+  result.prog =
+      std::make_shared<LoadedProgram>(std::move(prog), std::move(compiled));
+  return result;
+}
+
+ExecResult BpfSystem::run(const LoadedProgram& prog, ExecEnv& env,
+                          std::uint64_t ctx) const {
+  return jit_enabled_ ? run_jit(prog, env, ctx)
+                      : run_interpreted(prog, env, ctx);
+}
+
+ExecResult BpfSystem::run_interpreted(const LoadedProgram& prog, ExecEnv& env,
+                                      std::uint64_t ctx) const {
+  if (env.maps == nullptr) env.maps = const_cast<MapRegistry*>(&maps_);
+  if (env.helpers == nullptr)
+    env.helpers = const_cast<HelperRegistry*>(&helpers_);
+  return interp_.run(prog.program(), env, ctx);
+}
+
+ExecResult BpfSystem::run_jit(const LoadedProgram& prog, ExecEnv& env,
+                              std::uint64_t ctx) const {
+  if (env.maps == nullptr) env.maps = const_cast<MapRegistry*>(&maps_);
+  if (env.helpers == nullptr)
+    env.helpers = const_cast<HelperRegistry*>(&helpers_);
+  return prog.compiled().run(env, ctx);
+}
+
+}  // namespace srv6bpf::ebpf

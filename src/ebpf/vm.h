@@ -1,0 +1,85 @@
+// BpfSystem: the per-node "kernel BPF subsystem" facade.
+//
+// Owns the map registry, the helper registry and the execution engines, and
+// enforces the kernel's invariant chain: programs are verified at load time,
+// JIT-compiled if verification succeeded, and only then attachable to hooks.
+// A node-wide JIT switch mirrors /proc/sys/net/core/bpf_jit_enable, which the
+// paper toggles for its §3.2 JIT experiment (and which is forced off on the
+// Turris Omnia CPE in §4.2 because of the ARM32 JIT bug).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/exec.h"
+#include "ebpf/helpers.h"
+#include "ebpf/interp.h"
+#include "ebpf/jit.h"
+#include "ebpf/map.h"
+#include "ebpf/program.h"
+#include "ebpf/verifier.h"
+
+namespace srv6bpf::ebpf {
+
+// A verified, loaded program plus its compiled form.
+class LoadedProgram {
+ public:
+  LoadedProgram(Program prog, std::shared_ptr<const CompiledProgram> compiled)
+      : prog_(std::move(prog)), compiled_(std::move(compiled)) {}
+
+  const Program& program() const noexcept { return prog_; }
+  const std::string& name() const noexcept { return prog_.name(); }
+  ProgType type() const noexcept { return prog_.type(); }
+  const CompiledProgram& compiled() const noexcept { return *compiled_; }
+
+ private:
+  Program prog_;
+  std::shared_ptr<const CompiledProgram> compiled_;
+};
+
+using ProgHandle = std::shared_ptr<LoadedProgram>;
+
+class BpfSystem {
+ public:
+  BpfSystem() { register_generic_helpers(helpers_); }
+
+  MapRegistry& maps() noexcept { return maps_; }
+  const MapRegistry& maps() const noexcept { return maps_; }
+  HelperRegistry& helpers() noexcept { return helpers_; }
+
+  // bpf_jit_enable. Default on, as in the paper's main experiments.
+  void set_jit_enabled(bool on) noexcept { jit_enabled_ = on; }
+  bool jit_enabled() const noexcept { return jit_enabled_; }
+
+  struct LoadResult {
+    ProgHandle prog;  // null on verification failure
+    VerifyResult verify;
+    bool ok() const noexcept { return prog != nullptr; }
+  };
+
+  // Verify + compile. On verifier rejection returns a null handle and the
+  // verifier diagnostics.
+  LoadResult load(std::string name, ProgType type, std::vector<Insn> insns,
+                  std::size_t sloc_hint = 0);
+
+  // Runs a loaded program with the node's registries wired into `env`.
+  // Uses the JIT engine when enabled, the interpreter otherwise.
+  ExecResult run(const LoadedProgram& prog, ExecEnv& env,
+                 std::uint64_t ctx) const;
+
+  // Run with an explicit engine choice (benchmarks use this to compare).
+  ExecResult run_interpreted(const LoadedProgram& prog, ExecEnv& env,
+                             std::uint64_t ctx) const;
+  ExecResult run_jit(const LoadedProgram& prog, ExecEnv& env,
+                     std::uint64_t ctx) const;
+
+ private:
+  MapRegistry maps_;
+  HelperRegistry helpers_;
+  Interpreter interp_;
+  bool jit_enabled_ = true;
+};
+
+}  // namespace srv6bpf::ebpf

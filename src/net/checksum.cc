@@ -1,0 +1,52 @@
+#include "net/checksum.h"
+
+#include "util/byteorder.h"
+
+namespace srv6bpf::net {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += load_be16(data.data() + i);
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t transport_checksum(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                 std::uint8_t proto,
+                                 std::span<const std::uint8_t> payload) {
+  std::uint32_t sum = 0;
+  sum = checksum_partial(src.span(), sum);
+  sum = checksum_partial(dst.span(), sum);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  sum += len >> 16;
+  sum += len & 0xffff;
+  sum += proto;
+  sum = checksum_partial(payload, sum);
+  const std::uint16_t c = checksum_finish(sum);
+  // RFC 768: an all-zero transmitted checksum means "none"; 0 computes to
+  // 0xffff on the wire.
+  return c == 0 ? 0xffff : c;
+}
+
+bool transport_checksum_ok(const Ipv6Addr& src, const Ipv6Addr& dst,
+                           std::uint8_t proto,
+                           std::span<const std::uint8_t> payload) {
+  std::uint32_t sum = 0;
+  sum = checksum_partial(src.span(), sum);
+  sum = checksum_partial(dst.span(), sum);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  sum += len >> 16;
+  sum += len & 0xffff;
+  sum += proto;
+  sum = checksum_partial(payload, sum);
+  return checksum_finish(sum) == 0;
+}
+
+}  // namespace srv6bpf::net

@@ -1,0 +1,30 @@
+// Internet checksum (RFC 1071) with the IPv6 pseudo-header (RFC 8200 §8.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ip6.h"
+
+namespace srv6bpf::net {
+
+// One's-complement sum over `data`, folded to 16 bits (not inverted).
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t sum = 0);
+
+// Final fold + invert.
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+// Full transport checksum over the IPv6 pseudo header + payload.
+// `payload` covers the transport header (with its checksum field zeroed by
+// the caller or included for verification) and data.
+std::uint16_t transport_checksum(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                 std::uint8_t proto,
+                                 std::span<const std::uint8_t> payload);
+
+// Convenience: true if the embedded checksum verifies (sum == 0).
+bool transport_checksum_ok(const Ipv6Addr& src, const Ipv6Addr& dst,
+                           std::uint8_t proto,
+                           std::span<const std::uint8_t> payload);
+
+}  // namespace srv6bpf::net

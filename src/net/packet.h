@@ -1,0 +1,110 @@
+// Packet: the skb-like buffer flowing through the simulator.
+//
+// A contiguous byte buffer with reserved headroom (so SRH/IPv6 encapsulation
+// is a cheap push_front) plus the metadata the seg6local/LWT machinery needs:
+// the resolved next-hop ("dst cache"), timestamps, ingress interface and the
+// skb->mark scratch field exposed to eBPF programs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip6.h"
+#include "net/srh.h"
+
+namespace srv6bpf::net {
+
+inline constexpr std::size_t kDefaultHeadroom = 128;
+
+// The "dst cache" entry: where the packet goes next.
+struct DstEntry {
+  Ipv6Addr nexthop;  // link-layer next hop (or the dst itself if onlink)
+  int oif = -1;      // egress interface index
+  bool valid = false;
+};
+
+class Packet {
+ public:
+  Packet() : Packet(std::span<const std::uint8_t>{}) {}
+  explicit Packet(std::span<const std::uint8_t> contents,
+                  std::size_t headroom = kDefaultHeadroom);
+
+  Packet(const Packet&) = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(const Packet&) = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  std::uint8_t* data() noexcept { return buf_.data() + head_; }
+  const std::uint8_t* data() const noexcept { return buf_.data() + head_; }
+  std::size_t size() const noexcept { return buf_.size() - head_; }
+  std::span<std::uint8_t> bytes() noexcept { return {data(), size()}; }
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data(), size()};
+  }
+  std::size_t headroom() const noexcept { return head_; }
+
+  // Prepends `n` bytes (uninitialised), reallocating headroom if needed.
+  std::uint8_t* push_front(std::size_t n);
+  // Removes `n` bytes from the front (decapsulation). n <= size().
+  void pull_front(std::size_t n);
+  // Grows/shrinks at offset `at` by `delta` bytes (SRH TLV adjustment):
+  // positive delta inserts zeroed bytes at `at`, negative removes.
+  // Returns false if the operation is out of bounds.
+  bool expand_at(std::size_t at, std::ptrdiff_t delta);
+
+  // ---- metadata ----
+  DstEntry& dst() noexcept { return dst_; }
+  const DstEntry& dst() const noexcept { return dst_; }
+  std::uint32_t mark = 0;
+  std::uint32_t ingress_ifindex = 0;
+  std::uint64_t rx_tstamp_ns = 0;   // set by the receiving node
+  std::uint64_t tx_tstamp_ns = 0;   // set when first transmitted
+  std::uint64_t flow_id = 0;        // generator-assigned, for tracing/stats
+  std::uint32_t seq = 0;            // generator sequence number
+
+  // ---- convenience views (outermost headers) ----
+  Ipv6View ipv6() noexcept { return Ipv6View(data()); }
+  // Returns an SRH view if next_header == ROUTING and bounds allow.
+  std::optional<SrhView> srh() noexcept;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  DstEntry dst_;
+};
+
+// Builds IPv6(+optional SRH)+UDP+payload packets used across tests, examples
+// and benchmarks.
+struct PacketSpec {
+  Ipv6Addr src;
+  Ipv6Addr dst;                   // written into the IPv6 header
+  std::uint8_t hop_limit = 64;
+  std::vector<Ipv6Addr> segments; // if non-empty, adds an SRH (travel order);
+                                  // IPv6 dst is then segments.back() unless
+                                  // dst_override is set
+  std::vector<std::uint8_t> srh_tlvs;
+  std::uint16_t srh_tag = 0;
+  std::uint8_t srh_flags = 0;
+  std::uint16_t src_port = 7000;
+  std::uint16_t dst_port = 7001;
+  std::size_t payload_size = 64;
+  std::uint8_t payload_fill = 0xab;
+  bool fill_checksum = true;
+};
+
+Packet make_udp_packet(const PacketSpec& spec);
+
+// Walks the header chain (IPv6 -> [SRH] -> [IPv6-in-IPv6 ...]) to the
+// transport header. Returns nullopt when the chain is malformed or ends in a
+// protocol other than UDP/TCP/ICMPv6.
+struct TransportLoc {
+  std::uint8_t proto = 0;       // kProtoUdp / kProtoTcp / kProtoIcmp6
+  std::size_t offset = 0;       // byte offset of the transport header
+  std::size_t inner_ip = 0;     // byte offset of the innermost IPv6 header
+};
+std::optional<TransportLoc> locate_transport(const Packet& pkt);
+
+}  // namespace srv6bpf::net

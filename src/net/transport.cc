@@ -1,0 +1,49 @@
+#include "net/transport.h"
+
+#include "util/byteorder.h"
+
+namespace srv6bpf::net {
+
+void UdpHeader::write(std::uint8_t* out) const {
+  store_be16(out, src_port);
+  store_be16(out + 2, dst_port);
+  store_be16(out + 4, length);
+  store_be16(out + 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kUdpHeaderSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.length = load_be16(in.data() + 4);
+  h.checksum = load_be16(in.data() + 6);
+  return h;
+}
+
+void TcpHeader::write(std::uint8_t* out) const {
+  store_be16(out, src_port);
+  store_be16(out + 2, dst_port);
+  store_be32(out + 4, seq);
+  store_be32(out + 8, ack);
+  out[12] = 5 << 4;  // data offset: 5 words, no options
+  out[13] = flags;
+  store_be16(out + 14, window);
+  store_be16(out + 16, checksum);
+  store_be16(out + 18, 0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kTcpHeaderSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.seq = load_be32(in.data() + 4);
+  h.ack = load_be32(in.data() + 8);
+  h.flags = in[13];
+  h.window = load_be16(in.data() + 14);
+  h.checksum = load_be16(in.data() + 16);
+  return h;
+}
+
+}  // namespace srv6bpf::net

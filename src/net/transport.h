@@ -1,0 +1,45 @@
+// UDP and TCP header encoding (RFC 768 / RFC 9293, the fields we model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip6.h"
+
+namespace srv6bpf::net {
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::size_t kTcpHeaderSize = 20;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void write(std::uint8_t* out) const;
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> in);
+};
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+
+  void write(std::uint8_t* out) const;  // kTcpHeaderSize bytes, no options
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> in);
+};
+
+}  // namespace srv6bpf::net

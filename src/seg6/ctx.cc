@@ -1,0 +1,84 @@
+#include "seg6/ctx.h"
+
+#include "seg6/helpers.h"
+#include "seg6/seg6local.h"
+
+namespace srv6bpf::seg6 {
+
+void Seg6ProgCtx::refresh_packet_view() {
+  skb.data = reinterpret_cast<std::uint64_t>(pkt->data());
+  skb.data_end = skb.data + pkt->size();
+  skb.len = static_cast<std::uint32_t>(pkt->size());
+  if (env != nullptr && env->regions.size() >= 2) {
+    env->regions[1] = ebpf::MemRegion{
+        reinterpret_cast<std::uintptr_t>(pkt->data()), pkt->size(), false};
+  }
+}
+
+Netns::Netns(std::string name)
+    : name_(std::move(name)), seg6local_(std::make_unique<Seg6LocalTable>()) {
+  register_seg6_helpers(bpf_.helpers());
+}
+
+Netns::~Netns() = default;
+
+Fib& Netns::table(int id) { return tables_[id]; }
+
+const Fib* Netns::find_table(int id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t Netns::prandom() {
+  // splitmix64 step, truncated.
+  prandom_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = prandom_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::uint32_t>(z >> 32);
+}
+
+void Netns::seed_prandom(std::uint64_t seed) { prandom_state_ = seed; }
+
+Netns::BpfRunResult Netns::run_prog(const ebpf::LoadedProgram& prog,
+                                    net::Packet& pkt, ProcessTrace* trace) {
+  BpfRunResult out;
+  Seg6ProgCtx& ctx = out.ctx;
+  ctx.netns = this;
+  ctx.pkt = &pkt;
+  ctx.prog_type = prog.type();
+  ctx.trace = trace;
+  ctx.now_ns = now();
+
+  ctx.skb.protocol = ebpf::kEthPIpv6Be;
+  ctx.skb.mark = pkt.mark;
+  ctx.skb.ingress_ifindex = pkt.ingress_ifindex;
+  ctx.skb.tstamp_ns = pkt.rx_tstamp_ns;
+
+  ebpf::ExecEnv env;
+  env.user = &ctx;
+  env.now_ns = [this] { return now(); };
+  env.prandom = [this] { return prandom(); };
+  // Region 0: the ctx struct (read/write; the verifier confines writes to
+  // `mark`). Region 1: packet bytes, read-only from program code.
+  env.regions.push_back(ebpf::MemRegion{
+      reinterpret_cast<std::uintptr_t>(&ctx.skb), sizeof ctx.skb, true});
+  env.regions.push_back(ebpf::MemRegion{0, 0, false});
+  ctx.env = &env;
+  ctx.refresh_packet_view();
+
+  out.exec = bpf_.run(prog, env, reinterpret_cast<std::uint64_t>(&ctx.skb));
+
+  pkt.mark = ctx.skb.mark;  // writable ctx field propagates back
+  if (trace != nullptr) {
+    ++trace->bpf_runs;
+    trace->helper_calls += out.exec.helper_calls;
+    if (bpf_.jit_enabled())
+      trace->bpf_insns_jit += out.exec.insns_executed;
+    else
+      trace->bpf_insns_interp += out.exec.insns_executed;
+  }
+  return out;
+}
+
+}  // namespace srv6bpf::seg6

@@ -1,0 +1,133 @@
+// Netns: one instance of the "kernel network stack" state — routing tables,
+// the seg6local SID table, local addresses and the BPF subsystem — plus the
+// per-invocation context handed to SRv6 eBPF programs.
+//
+// The simulator's Node (sim/node.h) owns a Netns and drives the forwarding
+// pipeline; everything in this module is pure protocol logic with no notion
+// of links or simulated time (time is injected via the clock callback).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "ebpf/exec.h"
+#include "ebpf/skb.h"
+#include "ebpf/vm.h"
+#include "net/ip6.h"
+#include "net/packet.h"
+#include "seg6/fib.h"
+
+namespace srv6bpf::seg6 {
+
+class Seg6LocalTable;
+
+// What the forwarding pipeline should do next with a packet.
+enum class Disposition {
+  kContinue,   // dst (possibly rewritten) needs a FIB lookup in `table`
+  kUseRoute,   // proceed with the already-selected route's nexthop
+  kForward,    // pkt.dst() metadata is set; ship it
+  kLocal,      // deliver to the local host
+  kDrop,
+};
+
+struct PipelineResult {
+  Disposition disposition = Disposition::kDrop;
+  int table = 0;  // for kContinue
+  static PipelineResult drop() { return {Disposition::kDrop, 0}; }
+  static PipelineResult cont(int table = 0) {
+    return {Disposition::kContinue, table};
+  }
+  static PipelineResult forward() { return {Disposition::kForward, 0}; }
+  static PipelineResult use_route() { return {Disposition::kUseRoute, 0}; }
+};
+
+// Everything the cost model (sim/costmodel.h) needs to charge a packet for
+// the processing it received on a node.
+struct ProcessTrace {
+  int fib_lookups = 0;
+  int seg6local_ops = 0;       // static seg6local behaviour executions
+  int bpf_runs = 0;
+  std::uint64_t bpf_insns_jit = 0;     // insns executed on the JIT engine
+  std::uint64_t bpf_insns_interp = 0;  // insns executed on the interpreter
+  std::uint64_t helper_calls = 0;
+  int encaps = 0;
+  int decaps = 0;
+  bool dropped = false;
+
+  void reset() { *this = ProcessTrace{}; }
+};
+
+// Per-invocation state shared between a running eBPF program and the SRv6
+// helper implementations (reached through ExecEnv::user).
+struct Seg6ProgCtx {
+  class Netns* netns = nullptr;
+  net::Packet* pkt = nullptr;
+  ebpf::SkbCtx skb;              // the ctx struct the program sees
+  ebpf::ExecEnv* env = nullptr;  // to refresh packet regions after resizes
+  ebpf::ProgType prog_type = ebpf::ProgType::kLwtSeg6Local;
+  ProcessTrace* trace = nullptr;
+  std::uint64_t now_ns = 0;
+
+  bool srh_dirty = false;        // SRH bytes/size modified -> revalidate
+  bool packet_replaced = false;  // encap/decap/resize happened
+  bool dst_set = false;          // lwt_seg6_action resolved a destination
+
+  // Refresh skb.data/data_end/len and the packet memory region after any
+  // operation that may have moved or resized the packet buffer.
+  void refresh_packet_view();
+};
+
+class Netns {
+ public:
+  explicit Netns(std::string name = "netns");
+  ~Netns();  // out of line: Seg6LocalTable is forward-declared here
+
+  const std::string& name() const noexcept { return name_; }
+  ebpf::BpfSystem& bpf() noexcept { return bpf_; }
+  const ebpf::BpfSystem& bpf() const noexcept { return bpf_; }
+
+  // Routing table by id (created on demand). Table 0 is "main".
+  Fib& table(int id = 0);
+  const Fib* find_table(int id) const;
+  Seg6LocalTable& seg6local() noexcept { return *seg6local_; }
+
+  void add_local_addr(const net::Ipv6Addr& a) { local_addrs_.insert(a); }
+  bool is_local(const net::Ipv6Addr& a) const {
+    return local_addrs_.count(a) != 0;
+  }
+
+  // Source address used for SRH encapsulation (ip sr tunsrc analogue).
+  net::Ipv6Addr sr_tunsrc;
+
+  // Simulated clock; defaults to 0 when unset.
+  std::function<std::uint64_t()> clock;
+  std::uint64_t now() const { return clock ? clock() : 0; }
+
+  // Deterministic per-netns randomness for bpf_get_prandom_u32.
+  std::uint32_t prandom();
+  void seed_prandom(std::uint64_t seed);
+
+  struct BpfRunResult {
+    ebpf::ExecResult exec;
+    Seg6ProgCtx ctx;
+  };
+  // Builds the SkbCtx + ExecEnv and executes `prog` against `pkt` on this
+  // netns's engines (JIT or interpreter per the netns setting), updating
+  // `trace` with executed-instruction accounting.
+  BpfRunResult run_prog(const ebpf::LoadedProgram& prog, net::Packet& pkt,
+                        ProcessTrace* trace);
+
+ private:
+  std::string name_;
+  ebpf::BpfSystem bpf_;
+  std::map<int, Fib> tables_;
+  std::unique_ptr<Seg6LocalTable> seg6local_;
+  std::set<net::Ipv6Addr> local_addrs_;
+  std::uint64_t prandom_state_ = 0x853c49e6748fea9bull;
+};
+
+}  // namespace srv6bpf::seg6

@@ -1,0 +1,124 @@
+#include "seg6/fib.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ebpf/map.h"
+#include "net/srh.h"
+#include "net/transport.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::seg6 {
+
+Fib::Fib() {
+  ebpf::MapDef def;
+  def.type = ebpf::MapType::kLpmTrie;
+  def.key_size = 4 + 16;
+  def.value_size = 4;
+  def.max_entries = 1 << 16;
+  def.name = "fib";
+  trie_ = ebpf::make_map(def);
+}
+
+void Fib::add_route(Route route) {
+  if (route.nexthops.empty() && !route.lwt)
+    throw std::invalid_argument("route needs nexthops or tunnel state");
+  for (const Nexthop& nh : route.nexthops)
+    if (nh.weight <= 0) throw std::invalid_argument("nexthop weight must be > 0");
+
+  const std::uint32_t index = static_cast<std::uint32_t>(routes_.size());
+  std::array<std::uint8_t, 20> key{};
+  const std::uint32_t plen = static_cast<std::uint32_t>(route.prefix.len);
+  std::memcpy(key.data(), &plen, 4);
+  std::memcpy(key.data() + 4, route.prefix.addr.bytes().data(), 16);
+  const int rc = trie_->update(
+      key, {reinterpret_cast<const std::uint8_t*>(&index), 4}, ebpf::BPF_ANY);
+  if (rc != ebpf::kOk) throw std::runtime_error("fib trie insert failed");
+  routes_.push_back(std::move(route));
+}
+
+void Fib::clear() {
+  routes_.clear();
+  ebpf::MapDef def = trie_->def();
+  trie_ = ebpf::make_map(def);
+}
+
+const Route* Fib::lookup(const net::Ipv6Addr& dst) const {
+  std::array<std::uint8_t, 20> key{};
+  const std::uint32_t plen = 128;
+  std::memcpy(key.data(), &plen, 4);
+  std::memcpy(key.data() + 4, dst.bytes().data(), 16);
+  const std::uint8_t* v = trie_->lookup(key);
+  if (v == nullptr) return nullptr;
+  std::uint32_t index;
+  std::memcpy(&index, v, 4);
+  return &routes_[index];
+}
+
+const Nexthop& Fib::select_nexthop(const Route& route,
+                                   std::uint32_t flow_hash) {
+  if (route.nexthops.empty())
+    throw std::logic_error("select_nexthop on route without nexthops");
+  int total = 0;
+  for (const Nexthop& nh : route.nexthops) total += nh.weight;
+  // Weighted hash-threshold: deterministic per flow, proportional to weight.
+  int slot = static_cast<int>(flow_hash % static_cast<std::uint32_t>(total));
+  for (const Nexthop& nh : route.nexthops) {
+    slot -= nh.weight;
+    if (slot < 0) return nh;
+  }
+  return route.nexthops.back();
+}
+
+std::uint32_t flow_hash(const net::Packet& pkt) {
+  // Walk to the innermost IPv6 header (through SRH and IPv6-in-IPv6), then
+  // hash {src, dst, proto, ports}. Jenkins one-at-a-time.
+  const std::uint8_t* p = pkt.data();
+  std::size_t len = pkt.size();
+  std::uint8_t proto = 0;
+  const std::uint8_t* transport = nullptr;
+  if (len < net::kIpv6HeaderSize) return 0;
+
+  int guard = 8;
+  while (guard-- > 0 && len >= net::kIpv6HeaderSize && (p[0] >> 4) == 6) {
+    proto = p[6];
+    const std::uint8_t* next = p + net::kIpv6HeaderSize;
+    std::size_t next_len = len - net::kIpv6HeaderSize;
+    if (proto == net::kProtoRouting && next_len >= net::kSrhFixedSize) {
+      const std::size_t srh_len = (static_cast<std::size_t>(next[1]) + 1) * 8;
+      if (srh_len > next_len) break;
+      proto = next[0];
+      next += srh_len;
+      next_len -= srh_len;
+    }
+    if (proto == net::kProtoIpv6) {
+      p = next;
+      len = next_len;
+      continue;
+    }
+    transport = next;
+    len = next_len;
+    break;
+  }
+
+  std::uint32_t h = 0;
+  auto mix = [&h](const std::uint8_t* d, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h += d[i];
+      h += h << 10;
+      h ^= h >> 6;
+    }
+  };
+  // src+dst of the innermost IPv6 header currently at `p`.
+  mix(p + 8, 32);
+  mix(&proto, 1);
+  if (transport != nullptr &&
+      (proto == net::kProtoUdp || proto == net::kProtoTcp))
+    mix(transport, 4);  // both ports
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+}  // namespace srv6bpf::seg6

@@ -1,0 +1,83 @@
+// IPv6 forwarding information base with ECMP, per routing table.
+//
+// Longest-prefix-match is backed by the same binary-trie implementation the
+// eBPF LPM map uses (ebpf/map_impl.h), storing route indices as values.
+// Nexthop selection for multipath routes uses a 5-tuple flow hash, like the
+// kernel's flowlabel/5-tuple ECMP (§4.3's End.OAMP queries these nexthops).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "ebpf/vm.h"
+#include "net/ip6.h"
+#include "net/packet.h"
+
+namespace srv6bpf::seg6 {
+
+struct Nexthop {
+  net::Ipv6Addr via;  // gateway; unspecified (::) means on-link
+  int oif = -1;       // egress interface index
+  int weight = 1;
+
+  friend bool operator==(const Nexthop&, const Nexthop&) = default;
+};
+
+// Lightweight tunnel state attached to a route (seg6 / seg6 inline / BPF).
+struct LwtState {
+  enum class Kind { kNone, kSeg6Encap, kSeg6Inline, kBpf };
+  Kind kind = Kind::kNone;
+
+  // kSeg6Encap / kSeg6Inline: segment list in travel order.
+  std::vector<net::Ipv6Addr> segments;
+
+  // kBpf: programs per LWT hook (any may be null).
+  ebpf::ProgHandle prog_in;
+  ebpf::ProgHandle prog_out;
+  ebpf::ProgHandle prog_xmit;
+};
+
+struct Route {
+  net::Prefix prefix;
+  std::vector<Nexthop> nexthops;       // >1 entries = ECMP
+  std::shared_ptr<LwtState> lwt;       // optional tunnel state
+};
+
+class Fib {
+ public:
+  Fib();
+
+  void add_route(Route route);
+  // Convenience: single-nexthop route.
+  void add_route(const net::Prefix& prefix, const Nexthop& nh) {
+    add_route(Route{prefix, {nh}, nullptr});
+  }
+  void clear();
+
+  // Longest-prefix match; nullptr when no route covers `dst`.
+  const Route* lookup(const net::Ipv6Addr& dst) const;
+
+  // ECMP selection: picks the nexthop for `flow_hash` using weighted
+  // hash-threshold mapping. Requires a non-empty nexthop list.
+  static const Nexthop& select_nexthop(const Route& route,
+                                       std::uint32_t flow_hash);
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
+  const std::vector<Route>& routes() const noexcept { return routes_; }
+
+ private:
+  std::vector<Route> routes_;
+  // prefixlen(u32) + 16 address bytes -> u32 route index.
+  std::unique_ptr<ebpf::Map> trie_;
+};
+
+// 5-tuple flow hash over the *innermost* IPv6+transport headers of a packet
+// (so ECMP keeps flows on one path even when encapsulated upstream).
+std::uint32_t flow_hash(const net::Packet& pkt);
+
+}  // namespace srv6bpf::seg6

@@ -1,0 +1,34 @@
+// The paper's SRv6 eBPF helper functions (§3.1), released with Linux 4.18:
+//
+//   bpf_lwt_seg6_store_bytes  — indirect write access to the editable SRH
+//                               fields (flags, tag, TLVs) only;
+//   bpf_lwt_seg6_adjust_srh   — grow/shrink the TLV area;
+//   bpf_lwt_seg6_action       — run a basic SRv6 behaviour (End.X, End.T,
+//                               End.B6, End.B6.Encaps, End.DT6);
+//   bpf_lwt_push_encap        — (LWT hook) encapsulate an SRH / outer IPv6
+//                               header around plain IPv6 traffic;
+//
+// plus the custom helper of §4.3:
+//
+//   bpf_fib_ecmp_nexthops     — query the FIB's ECMP nexthop set for an
+//                               address (End.OAMP).
+//
+// All of them reach the packet and routing state through the Seg6ProgCtx in
+// ExecEnv::user, and enforce the paper's key principle: eBPF code only ever
+// mutates the packet through these audited entry points.
+#pragma once
+
+#include "ebpf/helpers.h"
+
+namespace srv6bpf::seg6 {
+
+// uapi values for bpf_lwt_push_encap's `type` argument.
+inline constexpr std::uint32_t BPF_LWT_ENCAP_SEG6 = 1;         // outer v6 + SRH
+inline constexpr std::uint32_t BPF_LWT_ENCAP_SEG6_INLINE = 2;  // SRH insertion
+
+// Maximum nexthops bpf_fib_ecmp_nexthops reports.
+inline constexpr std::uint32_t kMaxEcmpNexthops = 8;
+
+void register_seg6_helpers(ebpf::HelperRegistry& reg);
+
+}  // namespace srv6bpf::seg6

@@ -1,0 +1,1 @@
+#include "sim/cpu_model.h"

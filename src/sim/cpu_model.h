@@ -1,0 +1,6 @@
+// Historical name kept for discoverability: the CPU service model lives in
+// Node::Cpu (sim/node.h) and the cost constants in sim/costmodel.h.
+#pragma once
+
+#include "sim/costmodel.h"
+#include "sim/node.h"

@@ -1,0 +1,34 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace srv6bpf::sim {
+
+void EventLoop::schedule_at(TimeNs t, Fn fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the event must be moved out before
+  // running because fn may schedule more events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::run_until(TimeNs t) {
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace srv6bpf::sim

@@ -1,0 +1,59 @@
+// Discrete-event simulation core: a monotonic virtual clock and a
+// time-ordered event queue. All timing in the repository is in integer
+// nanoseconds of virtual time; nothing ever reads the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace srv6bpf::sim {
+
+using TimeNs = std::uint64_t;
+
+inline constexpr TimeNs kMicro = 1000;
+inline constexpr TimeNs kMilli = 1000 * 1000;
+inline constexpr TimeNs kSecond = 1000ull * 1000 * 1000;
+
+class EventLoop {
+ public:
+  using Fn = std::function<void()>;
+
+  TimeNs now() const noexcept { return now_; }
+
+  // Schedules `fn` at absolute time `t` (clamped to now()).
+  void schedule_at(TimeNs t, Fn fn);
+  // Schedules `fn` `delay` ns from now.
+  void schedule(TimeNs delay, Fn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  // Runs a single event; false when the queue is empty.
+  bool step();
+  // Runs until the queue empties or the clock passes `t`.
+  void run_until(TimeNs t);
+  // Drains the queue completely (use with care: traffic generators that
+  // reschedule forever will never drain; prefer run_until).
+  void run();
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs t;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace srv6bpf::sim

@@ -1,0 +1,59 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+#include "sim/node.h"
+
+namespace srv6bpf::sim {
+
+Link::Link(EventLoop& loop, Rng& rng, std::uint64_t bandwidth_bps,
+           TimeNs prop_delay_ns)
+    : loop_(loop), rng_(rng), bandwidth_bps_(bandwidth_bps),
+      prop_delay_(prop_delay_ns) {}
+
+void Link::attach(int side, Node* node, int ifindex) {
+  sides_[side].node = node;
+  sides_[side].ifindex = ifindex;
+}
+
+void Link::transmit(net::Packet&& pkt, int from_side) {
+  Side& tx = sides_[from_side];
+  Side& rx = sides_[1 - from_side];
+  if (rx.node == nullptr) return;  // unattached: blackhole
+
+  const TimeNs now = loop_.now();
+  const std::size_t wire_bytes = pkt.size() + kWireOverheadBytes;
+
+  // Stage 1: the egress qdisc (netem shaping/delay/jitter).
+  const NetemQdisc::Decision qd = tx.qdisc.enqueue(now, wire_bytes, rng_);
+  if (qd.dropped) {
+    ++tx.stats.drops;
+    return;
+  }
+
+  // Stage 2: the wire itself (serialization at link rate + propagation).
+  const TimeNs ready = std::max(qd.deliver_at, tx.wire_free_at);
+  const TimeNs backlog_ns = tx.wire_free_at > now ? tx.wire_free_at - now : 0;
+  const double backlog_bytes = static_cast<double>(backlog_ns) *
+                               static_cast<double>(bandwidth_bps_) / 8e9;
+  if (backlog_bytes > static_cast<double>(wire_queue_limit_bytes_)) {
+    ++tx.stats.drops;
+    return;
+  }
+  const TimeNs ser = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8e9 /
+                                         static_cast<double>(bandwidth_bps_));
+  tx.wire_free_at = ready + ser;
+  const TimeNs arrival = tx.wire_free_at + prop_delay_;
+
+  ++tx.stats.tx_packets;
+  tx.stats.tx_bytes += wire_bytes;
+
+  Node* dst_node = rx.node;
+  const int dst_if = rx.ifindex;
+  loop_.schedule_at(arrival,
+                    [dst_node, dst_if, p = std::move(pkt)]() mutable {
+                      dst_node->receive_from_link(std::move(p), dst_if);
+                    });
+}
+
+}  // namespace srv6bpf::sim

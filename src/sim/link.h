@@ -1,0 +1,67 @@
+// Point-to-point link: two attachment points, a wire bandwidth, a propagation
+// delay, and a netem qdisc on each egress (sim/netem.h).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/netem.h"
+#include "util/rng.h"
+
+namespace srv6bpf::sim {
+
+class Node;
+
+// Ethernet framing overhead added to every packet on the wire: 14 header +
+// 4 FCS + 8 preamble + 12 IPG.
+inline constexpr std::size_t kWireOverheadBytes = 38;
+
+class Link {
+ public:
+  Link(EventLoop& loop, Rng& rng, std::uint64_t bandwidth_bps,
+       TimeNs prop_delay_ns);
+
+  // Wires one side to a node interface. Side is 0 or 1.
+  void attach(int side, Node* node, int ifindex);
+
+  NetemQdisc& qdisc(int side) { return sides_[side].qdisc; }
+
+  // Enqueues the packet at `from_side`'s egress; delivery to the peer node is
+  // scheduled on the event loop.
+  void transmit(net::Packet&& pkt, int from_side);
+
+  std::uint64_t bandwidth_bps() const noexcept { return bandwidth_bps_; }
+  TimeNs prop_delay() const noexcept { return prop_delay_; }
+
+  // Egress buffer size (drop-tail). Defaults to 512 KiB; WAN-access links
+  // typically configure much less.
+  void set_wire_queue_limit(std::uint32_t bytes) noexcept {
+    wire_queue_limit_bytes_ = bytes;
+  }
+
+  struct SideStats {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t drops = 0;  // egress queue overflow (wire or netem)
+  };
+  const SideStats& stats(int side) const { return sides_[side].stats; }
+
+ private:
+  struct Side {
+    Node* node = nullptr;
+    int ifindex = -1;
+    NetemQdisc qdisc;
+    TimeNs wire_free_at = 0;
+    SideStats stats;
+  };
+
+  EventLoop& loop_;
+  Rng& rng_;
+  std::uint64_t bandwidth_bps_;
+  TimeNs prop_delay_;
+  std::uint32_t wire_queue_limit_bytes_ = 512 * 1024;
+  Side sides_[2];
+};
+
+}  // namespace srv6bpf::sim

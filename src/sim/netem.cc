@@ -1,0 +1,58 @@
+#include "sim/netem.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srv6bpf::sim {
+
+NetemQdisc::Decision NetemQdisc::enqueue(TimeNs now, std::size_t wire_bytes,
+                                         Rng& rng) {
+  TimeNs ready = now;
+
+  if (cfg_.rate_bps > 0) {
+    // Backlog currently in the shaper, expressed in time; reject when the
+    // corresponding byte count exceeds the queue limit (tail drop).
+    const TimeNs backlog_ns = shaper_free_at_ > now ? shaper_free_at_ - now : 0;
+    const double backlog_bytes =
+        static_cast<double>(backlog_ns) * static_cast<double>(cfg_.rate_bps) /
+        8e9;
+    if (backlog_bytes > static_cast<double>(cfg_.limit_bytes)) {
+      ++drops_;
+      return {.dropped = true, .deliver_at = 0};
+    }
+    const TimeNs ser = static_cast<TimeNs>(
+        static_cast<double>(wire_bytes) * 8e9 /
+        static_cast<double>(cfg_.rate_bps));
+    shaper_free_at_ = std::max(shaper_free_at_, now) + ser;
+    ready = shaper_free_at_;
+  }
+
+  TimeNs extra = cfg_.delay_ns;
+  if (cfg_.jitter_ns > 0) {
+    double jittered;
+    if (cfg_.jitter_tau_ns > 0) {
+      // Time-correlated jitter: an Ornstein-Uhlenbeck walk whose stationary
+      // stddev is jitter_ns and whose correlation time is jitter_tau_ns.
+      const double dt =
+          static_cast<double>(now >= ou_last_t_ ? now - ou_last_t_ : 0);
+      const double decay = std::exp(-dt / static_cast<double>(cfg_.jitter_tau_ns));
+      const double sd = static_cast<double>(cfg_.jitter_ns);
+      ou_state_ = ou_state_ * decay +
+                  rng.normal(0.0, sd * std::sqrt(1.0 - decay * decay));
+      ou_last_t_ = now;
+      jittered = static_cast<double>(cfg_.delay_ns) + ou_state_;
+    } else {
+      jittered = rng.normal(static_cast<double>(cfg_.delay_ns),
+                            static_cast<double>(cfg_.jitter_ns));
+    }
+    extra = jittered <= 0 ? 0 : static_cast<TimeNs>(jittered);
+  }
+  TimeNs deliver = ready + extra;
+  if (cfg_.keep_order) {
+    deliver = std::max(deliver, last_delivery_);
+    last_delivery_ = deliver;
+  }
+  return {.dropped = false, .deliver_at = deliver};
+}
+
+}  // namespace srv6bpf::sim

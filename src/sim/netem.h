@@ -1,0 +1,58 @@
+// netem-style egress queueing discipline: configurable delay, normal jitter,
+// rate limiting and a bounded queue. The hybrid-access experiment (§4.2) uses
+// this exactly as the paper uses `tc netem`: to shape the two WAN links
+// (50 Mbps / 30±5 ms and 30 Mbps / 5±2 ms) and to apply the TWD daemon's
+// delay compensation at runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_loop.h"
+#include "util/rng.h"
+
+namespace srv6bpf::sim {
+
+struct NetemConfig {
+  TimeNs delay_ns = 0;         // fixed extra delay
+  TimeNs jitter_ns = 0;        // stddev of normal jitter around delay_ns
+  // Jitter correlation time (netem's delay correlation, expressed as an
+  // Ornstein-Uhlenbeck time constant). 0 = independent per packet; larger
+  // values make latency wander slowly, as access links do in practice.
+  TimeNs jitter_tau_ns = 0;
+  std::uint64_t rate_bps = 0;  // 0 = unshaped
+  std::uint32_t limit_bytes = 256 * 1024;  // queue capacity for the shaper
+  bool keep_order = true;      // enforce FIFO delivery despite jitter
+};
+
+class NetemQdisc {
+ public:
+  NetemQdisc() = default;
+  explicit NetemQdisc(NetemConfig cfg) : cfg_(cfg) {}
+
+  const NetemConfig& config() const noexcept { return cfg_; }
+  void set_config(const NetemConfig& cfg) noexcept { cfg_ = cfg; }
+  // Runtime adjustment used by the TWD compensation daemon ("tc qdisc change
+  // dev .. netem delay X").
+  void set_delay(TimeNs delay_ns) noexcept { cfg_.delay_ns = delay_ns; }
+
+  struct Decision {
+    bool dropped = false;
+    TimeNs deliver_at = 0;
+  };
+  // Computes the delivery time for `wire_bytes` enqueued at `now`, updating
+  // the shaper state, or reports a queue-overflow drop.
+  Decision enqueue(TimeNs now, std::size_t wire_bytes, Rng& rng);
+
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  NetemConfig cfg_;
+  TimeNs shaper_free_at_ = 0;   // when the rate shaper finishes current work
+  TimeNs last_delivery_ = 0;    // for keep_order
+  std::uint64_t drops_ = 0;
+  // Ornstein-Uhlenbeck jitter state (deviation from delay_ns, in ns).
+  double ou_state_ = 0.0;
+  TimeNs ou_last_t_ = 0;
+};
+
+}  // namespace srv6bpf::sim

@@ -1,0 +1,2 @@
+// network.h is header-only; see sim/stats.cc for the rationale.
+#include "sim/network.h"

@@ -1,0 +1,58 @@
+// Network: owns the event loop, RNG, nodes and links, and provides the
+// topology-building vocabulary the examples and benchmarks use to recreate
+// the paper's lab setups (Figure 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "util/rng.h"
+
+namespace srv6bpf::sim {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+
+  EventLoop& loop() noexcept { return loop_; }
+  Rng& rng() noexcept { return rng_; }
+  TimeNs now() const noexcept { return loop_.now(); }
+
+  Node& add_node(const std::string& name) {
+    nodes_.push_back(std::make_unique<Node>(loop_, rng_, name));
+    return *nodes_.back();
+  }
+
+  struct Attachment {
+    Link* link;
+    int a_ifindex;
+    int b_ifindex;
+  };
+  // Creates a link and attaches both ends, assigning the given interface
+  // addresses (also installed as local addresses).
+  Attachment connect(Node& a, const net::Ipv6Addr& a_addr, Node& b,
+                     const net::Ipv6Addr& b_addr, std::uint64_t bandwidth_bps,
+                     TimeNs prop_delay_ns) {
+    links_.push_back(
+        std::make_unique<Link>(loop_, rng_, bandwidth_bps, prop_delay_ns));
+    Link& link = *links_.back();
+    const int ai = a.add_interface(link, 0, a_addr);
+    const int bi = b.add_interface(link, 1, b_addr);
+    return Attachment{&link, ai, bi};
+  }
+
+  void run_until(TimeNs t) { loop_.run_until(t); }
+  void run_for(TimeNs dt) { loop_.run_until(loop_.now() + dt); }
+
+ private:
+  EventLoop loop_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace srv6bpf::sim

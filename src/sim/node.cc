@@ -1,0 +1,262 @@
+#include "sim/node.h"
+
+#include <cstring>
+
+#include "net/checksum.h"
+#include "seg6/lwt.h"
+#include "seg6/seg6local.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::sim {
+
+Node::Node(EventLoop& loop, Rng& rng, std::string name)
+    : loop_(loop), rng_(rng), name_(std::move(name)), ns_(name_) {
+  ns_.clock = [this] { return loop_.now(); };
+}
+
+int Node::add_interface(Link& link, int side, const net::Ipv6Addr& addr) {
+  const int ifindex = static_cast<int>(ifaces_.size());
+  ifaces_.push_back(Iface{&link, side, addr});
+  link.attach(side, this, ifindex);
+  ns_.add_local_addr(addr);
+  return ifindex;
+}
+
+void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
+  ++stats.rx_packets;
+  pkt.rx_tstamp_ns = loop_.now();
+  pkt.ingress_ifindex = static_cast<std::uint32_t>(ifindex);
+  pkt.dst() = net::DstEntry{};  // fresh routing decision on this node
+
+  if (!cpu.enabled) {
+    dispatch(process(std::move(pkt), /*local_out=*/false), loop_.now());
+    return;
+  }
+  if (rx_queue_.size() >= cpu.rx_queue_limit) {
+    ++stats.drops_rx_queue;
+    return;
+  }
+  rx_queue_.emplace_back(std::move(pkt), ifindex);
+  maybe_schedule_service();
+}
+
+void Node::maybe_schedule_service() {
+  if (servicing_ || rx_queue_.empty()) return;
+  servicing_ = true;
+  const TimeNs start = std::max(loop_.now(), cpu.busy_until);
+  loop_.schedule_at(start, [this] { service_one(); });
+}
+
+void Node::service_one() {
+  if (rx_queue_.empty()) {
+    servicing_ = false;
+    return;
+  }
+  auto [pkt, ifindex] = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  (void)ifindex;
+
+  Outcome out = process(std::move(pkt), /*local_out=*/false);
+  const std::uint64_t cost = packet_cost_ns(cpu.profile, trace_);
+  cpu.busy_until = loop_.now() + cost;
+
+  loop_.schedule_at(cpu.busy_until,
+                    [this, o = std::move(out)]() mutable {
+                      dispatch(std::move(o), loop_.now());
+                      servicing_ = false;
+                      maybe_schedule_service();
+                    });
+}
+
+void Node::send(net::Packet&& pkt) {
+  pkt.dst() = net::DstEntry{};
+  dispatch(process(std::move(pkt), /*local_out=*/true), loop_.now());
+}
+
+void Node::dispatch(Outcome&& out, TimeNs now) {
+  switch (out.kind) {
+    case Outcome::Kind::kTransmit: {
+      if (out.oif < 0 ||
+          out.oif >= static_cast<int>(ifaces_.size())) {
+        ++stats.drops_no_route;
+        return;
+      }
+      ++stats.tx_packets;
+      if (out.pkt.tx_tstamp_ns == 0) out.pkt.tx_tstamp_ns = now;
+      Iface& iface = ifaces_[static_cast<std::size_t>(out.oif)];
+      iface.link->transmit(std::move(out.pkt), iface.side);
+      return;
+    }
+    case Outcome::Kind::kLocal:
+      ++stats.local_delivered;
+      if (local_handler_) local_handler_(std::move(out.pkt), now);
+      return;
+    case Outcome::Kind::kDrop:
+      return;  // specific drop counter already bumped in process()
+  }
+}
+
+Node::Outcome Node::process(net::Packet&& pkt, bool local_out) {
+  trace_.reset();
+  Outcome out;
+  out.pkt = std::move(pkt);
+  net::Packet& p = out.pkt;
+
+  if (p.size() < net::kIpv6HeaderSize || p.ipv6().version() != 6) {
+    ++stats.drops_malformed;
+    trace_.dropped = true;
+    return out;
+  }
+
+  seg6::PipelineResult r = seg6::PipelineResult::cont(0);
+  bool did_behaviour = false;
+
+  if (!local_out) {
+    const net::Ipv6Addr dst = p.ipv6().dst();
+    if (const seg6::Seg6LocalEntry* sid = ns_.seg6local().lookup(dst)) {
+      r = seg6local_process(ns_, p, *sid, &trace_);
+      did_behaviour = true;
+    } else if (ns_.is_local(dst)) {
+      out.kind = Outcome::Kind::kLocal;
+      return out;
+    }
+  }
+  (void)did_behaviour;
+
+  // Disposition loop: encapsulations and rewritten destinations trigger new
+  // lookups; bounded to defeat routing loops inside one node.
+  for (int guard = 0; guard < 4; ++guard) {
+    switch (r.disposition) {
+      case seg6::Disposition::kDrop:
+        ++stats.drops_verdict;
+        trace_.dropped = true;
+        return out;
+
+      case seg6::Disposition::kLocal:
+        out.kind = Outcome::Kind::kLocal;
+        return out;
+
+      case seg6::Disposition::kForward: {
+        // Destination metadata is set (End.X / BPF_REDIRECT).
+        if (!p.dst().valid) {
+          ++stats.drops_no_route;
+          return out;
+        }
+        out.oif = p.dst().oif;
+        break;  // to hop-limit handling below
+      }
+
+      case seg6::Disposition::kUseRoute:
+        // Only produced inside the kContinue handling; treated there.
+        ++stats.drops_no_route;
+        return out;
+
+      case seg6::Disposition::kContinue: {
+        const net::Ipv6Addr dst = p.ipv6().dst();
+        // A rewritten destination may target another local SID (e.g. B6
+        // policies whose first segment is local) or a local address (e.g.
+        // after decap on the final node).
+        if (const seg6::Seg6LocalEntry* sid = ns_.seg6local().lookup(dst)) {
+          r = seg6local_process(ns_, p, *sid, &trace_);
+          continue;
+        }
+        if (ns_.is_local(dst)) {
+          out.kind = Outcome::Kind::kLocal;
+          return out;
+        }
+        const seg6::Fib* fib = ns_.find_table(r.table);
+        const seg6::Route* route = fib ? fib->lookup(dst) : nullptr;
+        ++trace_.fib_lookups;
+        if (route == nullptr) {
+          ++stats.drops_no_route;
+          trace_.dropped = true;
+          return out;
+        }
+        if (route->lwt && route->lwt->kind != seg6::LwtState::Kind::kNone) {
+          const seg6::PipelineResult lr = seg6::lwt_process(
+              ns_, p, *route->lwt, seg6::LwtHook::kXmit, &trace_);
+          if (lr.disposition == seg6::Disposition::kUseRoute) {
+            if (route->nexthops.empty()) {
+              ++stats.drops_no_route;
+              return out;
+            }
+            const seg6::Nexthop& nh =
+                seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
+            p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
+            p.dst().oif = nh.oif;
+            p.dst().valid = true;
+            out.oif = nh.oif;
+            r = seg6::PipelineResult::forward();
+            continue;
+          }
+          r = lr;
+          continue;
+        }
+        if (route->nexthops.empty()) {
+          ++stats.drops_no_route;
+          return out;
+        }
+        const seg6::Nexthop& nh =
+            seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
+        p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
+        p.dst().oif = nh.oif;
+        p.dst().valid = true;
+        out.oif = nh.oif;
+        r = seg6::PipelineResult::forward();
+        continue;
+      }
+    }
+    // Reached on kForward with out.oif set: hop limit, then transmit.
+    if (!local_out) {
+      const std::uint8_t hl = p.ipv6().hop_limit();
+      if (hl <= 1) {
+        ++stats.drops_ttl;
+        send_icmp_time_exceeded(p);
+        trace_.dropped = true;
+        out.kind = Outcome::Kind::kDrop;
+        return out;
+      }
+      p.ipv6().set_hop_limit(static_cast<std::uint8_t>(hl - 1));
+    }
+    out.kind = Outcome::Kind::kTransmit;
+    return out;
+  }
+  ++stats.drops_no_route;  // disposition loop exhausted
+  return out;
+}
+
+void Node::send_icmp_time_exceeded(const net::Packet& orig) {
+  if (ifaces_.empty()) return;
+  if (orig.size() < net::kIpv6HeaderSize) return;
+  net::Ipv6Header oh =
+      *net::Ipv6Header::parse({orig.data(), orig.size()});
+  if (oh.next_header == net::kProtoIcmp6) return;  // never ICMP about ICMP
+  ++stats.icmp_time_exceeded_sent;
+
+  // ICMPv6 Time Exceeded: type 3, code 0, 4 unused bytes, then as much of
+  // the invoking packet as fits.
+  const std::size_t quoted = std::min<std::size_t>(orig.size(), 128);
+  std::vector<std::uint8_t> icmp(8 + quoted, 0);
+  icmp[0] = 3;  // time exceeded
+  icmp[1] = 0;  // hop limit exceeded in transit
+  std::memcpy(icmp.data() + 8, orig.data(), quoted);
+
+  net::Ipv6Header ih;
+  ih.src = ifaces_[0].addr;
+  ih.dst = oh.src;
+  ih.next_header = net::kProtoIcmp6;
+  ih.hop_limit = 64;
+  ih.payload_length = static_cast<std::uint16_t>(icmp.size());
+
+  const std::uint16_t csum =
+      net::transport_checksum(ih.src, ih.dst, net::kProtoIcmp6, icmp);
+  store_be16(icmp.data() + 2, csum);
+
+  net::Packet reply;
+  std::uint8_t* base = reply.push_front(net::kIpv6HeaderSize + icmp.size());
+  ih.write(base);
+  std::memcpy(base + net::kIpv6HeaderSize, icmp.data(), icmp.size());
+  send(std::move(reply));
+}
+
+}  // namespace srv6bpf::sim

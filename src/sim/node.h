@@ -1,0 +1,104 @@
+// Node: a simulated machine (server, router or CPE) running the seg6/eBPF
+// network stack.
+//
+// Owns a seg6::Netns (FIB tables, seg6local SIDs, BPF subsystem), a set of
+// interfaces attached to links, and an optional CPU service model that turns
+// per-packet processing cost (sim/costmodel.h) into a forwarding-rate cap
+// with a bounded RX backlog — exactly how the paper's single-core routers
+// saturate at 610 kpps while the source offers 3 Mpps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "seg6/ctx.h"
+#include "sim/costmodel.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace srv6bpf::sim {
+
+class Node {
+ public:
+  Node(EventLoop& loop, Rng& rng, std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  seg6::Netns& ns() noexcept { return ns_; }
+  EventLoop& loop() noexcept { return loop_; }
+
+  // ---- interfaces ----
+  // Registers an interface attached to `link` at `side` with address `addr`
+  // (added as a local address). Returns the ifindex.
+  int add_interface(Link& link, int side, const net::Ipv6Addr& addr);
+  std::size_t interface_count() const noexcept { return ifaces_.size(); }
+  const net::Ipv6Addr& interface_addr(int ifindex) const {
+    return ifaces_[static_cast<std::size_t>(ifindex)].addr;
+  }
+
+  // ---- CPU service model ----
+  struct Cpu {
+    bool enabled = false;  // hosts: off; routers under test: on
+    CpuProfile profile = kXeonProfile;
+    std::size_t rx_queue_limit = 512;  // packets (NIC ring + softirq backlog)
+    TimeNs busy_until = 0;
+  };
+  Cpu cpu;
+
+  // ---- traffic entry points ----
+  // Called by Link when a packet arrives on `ifindex`.
+  void receive_from_link(net::Packet&& pkt, int ifindex);
+  // Local output path (applications sending); bypasses the CPU model and the
+  // hop-limit decrement, like a locally originated skb.
+  void send(net::Packet&& pkt);
+
+  // Delivery callback for locally addressed packets.
+  using LocalHandler = std::function<void(net::Packet&&, TimeNs now)>;
+  void set_local_handler(LocalHandler handler) {
+    local_handler_ = std::move(handler);
+  }
+
+  NodeStats stats;
+
+  // Exposed for tests: run the forwarding pipeline synchronously and return
+  // the last trace (no CPU model, no transmission).
+  const seg6::ProcessTrace& last_trace() const noexcept { return trace_; }
+
+ private:
+  struct Iface {
+    Link* link = nullptr;
+    int side = 0;
+    net::Ipv6Addr addr;
+  };
+
+  struct Outcome {
+    enum class Kind { kTransmit, kLocal, kDrop } kind = Kind::kDrop;
+    int oif = -1;
+    net::Packet pkt;
+  };
+
+  Outcome process(net::Packet&& pkt, bool local_out);
+  void dispatch(Outcome&& out, TimeNs now);
+  void maybe_schedule_service();
+  void service_one();
+  void send_icmp_time_exceeded(const net::Packet& orig);
+
+  EventLoop& loop_;
+  Rng& rng_;
+  std::string name_;
+  seg6::Netns ns_;
+  std::vector<Iface> ifaces_;
+  LocalHandler local_handler_;
+  seg6::ProcessTrace trace_;
+
+  std::deque<std::pair<net::Packet, int>> rx_queue_;
+  bool servicing_ = false;
+};
+
+}  // namespace srv6bpf::sim

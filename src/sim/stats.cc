@@ -1,0 +1,3 @@
+// stats.h is header-only; this translation unit exists to give the build a
+// place to grow (e.g. CSV exporters) without touching every target.
+#include "sim/stats.h"

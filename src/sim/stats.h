@@ -1,0 +1,58 @@
+// Counters and measurement helpers shared by nodes, apps and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_loop.h"
+
+namespace srv6bpf::sim {
+
+struct NodeStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t local_delivered = 0;
+  std::uint64_t drops_rx_queue = 0;   // CPU backlog overflow (the 610kpps cap)
+  std::uint64_t drops_no_route = 0;
+  std::uint64_t drops_ttl = 0;
+  std::uint64_t drops_verdict = 0;    // seg6local / BPF_DROP / invalid SRH
+  std::uint64_t drops_malformed = 0;
+  std::uint64_t icmp_time_exceeded_sent = 0;
+
+  std::uint64_t total_drops() const noexcept {
+    return drops_rx_queue + drops_no_route + drops_ttl + drops_verdict +
+           drops_malformed;
+  }
+};
+
+// Accumulates packet/byte counts over a measurement window; used by sinks to
+// report kpps / goodput exactly the way the paper's figures do.
+class RateMeter {
+ public:
+  void record(std::size_t payload_bytes) {
+    ++packets_;
+    bytes_ += payload_bytes;
+  }
+  void reset() { packets_ = bytes_ = 0; }
+
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+  double pps(TimeNs window) const noexcept {
+    return window == 0 ? 0.0
+                       : static_cast<double>(packets_) * 1e9 /
+                             static_cast<double>(window);
+  }
+  double kpps(TimeNs window) const noexcept { return pps(window) / 1e3; }
+  double mbps(TimeNs window) const noexcept {
+    return window == 0 ? 0.0
+                       : static_cast<double>(bytes_) * 8e3 /
+                             static_cast<double>(window);
+  }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace srv6bpf::sim

@@ -1,0 +1,158 @@
+#include "usecases/delay_monitor.h"
+
+#include <cstring>
+
+#include "ebpf/perf_event.h"
+#include "seg6/seg6local.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::usecases {
+
+namespace {
+const net::Ipv6Addr kS1Addr = net::Ipv6Addr::must_parse("fc00:1::1");
+const net::Ipv6Addr kRIf0 = net::Ipv6Addr::must_parse("fc00:1::2");
+const net::Ipv6Addr kRIf1 = net::Ipv6Addr::must_parse("fc00:2::1");
+const net::Ipv6Addr kS2Addr = net::Ipv6Addr::must_parse("fc00:2::2");
+const net::Ipv6Addr kDmSid = net::Ipv6Addr::must_parse("fc00:a::dd");
+}  // namespace
+
+DelayMonitorLab::DelayMonitorLab(const Options& opts) : net_(opts.seed) {
+  s1_ = &net_.add_node("S1");
+  r_ = &net_.add_node("R");
+  s2_ = &net_.add_node("S2");
+
+  const std::uint64_t kTenGig = 10ull * 1000 * 1000 * 1000;
+  auto l1 = net_.connect(*s1_, kS1Addr, *r_, kRIf0, kTenGig, opts.link_delay);
+  auto l2 = net_.connect(*r_, kRIf1, *s2_, kS2Addr, kTenGig, opts.link_delay);
+
+  // ---- routing ----
+  // S1: everything via R, with the DM transit program attached to the
+  // monitored destination prefix.
+  auto& s1_fib = s1_->ns().table(0);
+  auto& r_fib = r_->ns().table(0);
+  auto& s2_fib = s2_->ns().table(0);
+
+  // S1 -> monitored prefix: LWT BPF xmit program (the paper's transit hook).
+  auto& s1_bpf = s1_->ns().bpf();
+  ebpf::MapDef cfg_def;
+  cfg_def.type = ebpf::MapType::kArray;
+  cfg_def.key_size = 4;
+  cfg_def.value_size = sizeof(DmEncapConfig);
+  cfg_def.max_entries = 1;
+  cfg_def.name = "dm_encap_cfg";
+  const std::uint32_t cfg_id = s1_bpf.maps().create(cfg_def);
+
+  DmEncapConfig cfg;
+  cfg.ratio = opts.probe_ratio;
+  std::memcpy(cfg.dm_sid, kDmSid.bytes().data(), 16);
+  std::memcpy(cfg.final_seg, kS2Addr.bytes().data(), 16);
+  std::memcpy(cfg.ctrl_addr, kS1Addr.bytes().data(), 16);
+  cfg.ctrl_port = kControllerPort;
+  const std::uint32_t key0 = 0;
+  s1_bpf.maps().get(cfg_id)->put(key0, cfg);
+
+  auto encap_built = build_dm_encap(cfg_id);
+  auto encap_load = s1_bpf.load(encap_built.name, ebpf::ProgType::kLwtXmit,
+                                encap_built.insns, encap_built.paper_sloc);
+  if (!encap_load.ok())
+    throw std::runtime_error("dm_encap rejected: " + encap_load.verify.error);
+
+  auto lwt = std::make_shared<seg6::LwtState>();
+  lwt->kind = seg6::LwtState::Kind::kBpf;
+  lwt->prog_xmit = encap_load.prog;
+  s1_fib.add_route({net::Prefix::parse("fc00:2::/64").value(),
+                    {{kRIf0, l1.a_ifindex, 1}},
+                    lwt});
+  // Probe outer destinations (the DM SID) also go via R.
+  s1_fib.add_route(net::Prefix::parse("fc00:a::/64").value(),
+                   {kRIf0, l1.a_ifindex, 1});
+
+  // R: plain forwarding between the two prefixes + the End.DM SID.
+  r_fib.add_route(net::Prefix::parse("fc00:1::/64").value(),
+                  {net::Ipv6Addr{}, l1.b_ifindex, 1});
+  r_fib.add_route(net::Prefix::parse("fc00:2::/64").value(),
+                  {net::Ipv6Addr{}, l2.a_ifindex, 1});
+
+  auto& r_bpf = r_->ns().bpf();
+  const std::uint32_t perf_id =
+      ebpf::create_perf_event_array(r_bpf.maps(), "dm_events", 65536);
+  auto dm_built = build_end_dm(perf_id);
+  auto dm_load = r_bpf.load(dm_built.name, ebpf::ProgType::kLwtSeg6Local,
+                            dm_built.insns, dm_built.paper_sloc);
+  if (!dm_load.ok())
+    throw std::runtime_error("end_dm rejected: " + dm_load.verify.error);
+
+  seg6::Seg6LocalEntry dm_entry;
+  dm_entry.action = seg6::Seg6Action::kEndBPF;
+  dm_entry.prog = dm_load.prog;
+  r_->ns().seg6local().add(kDmSid, dm_entry);
+
+  // S2: default route back through R; local sink.
+  s2_fib.add_route(net::Prefix::parse("::/0").value(),
+                   {kRIf1, l2.b_ifindex, 1});
+
+  // ---- CPU + JIT knobs ----
+  if (opts.cpu_model_on_r) {
+    r_->cpu.enabled = true;
+    r_->cpu.profile = sim::kXeonProfile;
+  }
+  s1_->ns().bpf().set_jit_enabled(opts.jit);
+  r_->ns().bpf().set_jit_enabled(opts.jit);
+
+  // ---- apps ----
+  mux_s2_ = std::make_unique<apps::AppMux>(*s2_);
+  sink_ = std::make_unique<apps::UdpSink>(*mux_s2_, 7001);
+
+  mux_s1_ = std::make_unique<apps::AppMux>(*s1_);
+  mux_s1_->on_udp(kControllerPort,
+                  [this](const net::Packet&, const net::UdpHeader&,
+                         std::span<const std::uint8_t> payload, sim::TimeNs) {
+                    if (payload.size() < 16) return;
+                    OwdSample s;
+                    s.tx_ns = load_unaligned<std::uint64_t>(payload.data());
+                    s.rx_ns = load_unaligned<std::uint64_t>(payload.data() + 8);
+                    samples_.push_back(s);
+                    ++ctrl_rx_;
+                  });
+
+  // The user-space daemon on R: poll the perf ring, relay to the controller
+  // (the paper's 100-SLOC bcc/Python daemon).
+  auto* perf_map =
+      dynamic_cast<ebpf::PerfEventArrayMap*>(r_bpf.maps().get(perf_id));
+  poller_ = std::make_unique<apps::PerfPoller>(
+      *r_, perf_map->buffer(), sim::kMilli,
+      [this](const ebpf::PerfRecord& rec, sim::TimeNs) {
+        if (rec.data.size() < sizeof(DmEvent)) return;
+        ++probes_;
+        DmEvent ev;
+        std::memcpy(&ev, rec.data.data(), sizeof ev);
+        net::Ipv6Addr ctrl;
+        std::memcpy(ctrl.bytes().data(), ev.ctrl_addr, 16);
+        std::uint8_t payload[16];
+        store_unaligned<std::uint64_t>(payload, ev.tx_ns);
+        store_unaligned<std::uint64_t>(payload + 8, ev.rx_ns);
+        apps::send_udp(*r_, kRIf0, ctrl, 40000, ev.ctrl_port, payload);
+      });
+  poller_->start();
+}
+
+void DelayMonitorLab::offer_traffic(double pps, sim::TimeNs duration,
+                                    std::size_t payload) {
+  apps::TrafGen::Config cfg;
+  cfg.spec.src = kS1Addr;
+  cfg.spec.dst = kS2Addr;
+  cfg.spec.src_port = 7000;
+  cfg.spec.dst_port = 7001;
+  cfg.spec.payload_size = payload;
+  cfg.pps = pps;
+  cfg.start_at = net_.now();
+  cfg.duration = duration;
+  gen_ = std::make_unique<apps::TrafGen>(*s1_, cfg);
+  gen_->start();
+}
+
+std::uint64_t DelayMonitorLab::sink_packets() const {
+  return sink_->packets();
+}
+
+}  // namespace srv6bpf::usecases

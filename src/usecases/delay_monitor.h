@@ -1,0 +1,80 @@
+// §4.1 — Passive monitoring of one-way network delays.
+//
+// Reproduces the paper's deployment: a BPF LWT transit program on the router
+// at the head of the monitored path encapsulates every Nth packet with an
+// SRH carrying a DM TLV (TX timestamp) and a controller TLV; the router at
+// the tail runs End.DM (an End.BPF program) which reports both timestamps to
+// a user-space daemon over a perf event ring; the daemon relays them to the
+// controller in a UDP datagram.
+//
+// Lab layout (paper Figure 1, setup 1):
+//     S1 ---- R ---- S2        (10 Gbps links; R's CPU is the bottleneck)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/daemons.h"
+#include "apps/sink.h"
+#include "apps/trafgen.h"
+#include "sim/network.h"
+#include "usecases/programs.h"
+
+namespace srv6bpf::usecases {
+
+struct OwdSample {
+  std::uint64_t tx_ns = 0;
+  std::uint64_t rx_ns = 0;
+  std::uint64_t owd_ns() const noexcept { return rx_ns - tx_ns; }
+};
+
+class DelayMonitorLab {
+ public:
+  struct Options {
+    std::uint64_t probe_ratio = 100;      // 1:N probing
+    bool cpu_model_on_r = false;          // enable the 610kpps-style CPU cap
+    bool jit = true;
+    sim::TimeNs link_delay = 2 * sim::kMilli;
+    std::uint64_t seed = 42;
+    // Where End.DM runs: on R (tail = R, fig-3 "End.DM" bars) or on S2's
+    // router side. The paper measures End.DM on R.
+    bool dm_on_r = true;
+  };
+
+  explicit DelayMonitorLab(const Options& opts);
+
+  // Offered plain-IPv6 load S1 -> S2 (the 3 Mpps pktgen stream).
+  void offer_traffic(double pps, sim::TimeNs duration,
+                     std::size_t payload = 64);
+  void run_for(sim::TimeNs t) { net_.run_for(t); }
+
+  sim::Network& net() noexcept { return net_; }
+  sim::Node& s1() noexcept { return *s1_; }
+  sim::Node& r() noexcept { return *r_; }
+  sim::Node& s2() noexcept { return *s2_; }
+
+  // Results.
+  const std::vector<OwdSample>& samples() const noexcept { return samples_; }
+  std::uint64_t sink_packets() const;
+  std::uint64_t controller_datagrams() const noexcept { return ctrl_rx_; }
+  std::uint64_t probes_emitted() const noexcept { return probes_; }
+
+  static constexpr std::uint16_t kControllerPort = 9999;
+
+ private:
+  sim::Network net_;
+  sim::Node* s1_;
+  sim::Node* r_;
+  sim::Node* s2_;
+  std::unique_ptr<apps::AppMux> mux_s1_;
+  std::unique_ptr<apps::AppMux> mux_s2_;
+  std::unique_ptr<apps::UdpSink> sink_;
+  std::unique_ptr<apps::TrafGen> gen_;
+  std::unique_ptr<apps::PerfPoller> poller_;
+  std::vector<OwdSample> samples_;
+  std::uint64_t ctrl_rx_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace srv6bpf::usecases

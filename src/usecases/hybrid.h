@@ -1,0 +1,135 @@
+// §4.2 — Hybrid access networks: SRv6-based link aggregation.
+//
+// Two labs:
+//
+//  * HybridLab — the TCP experiment. An aggregation box A and a CPE M are
+//    joined by two shaped WAN links (50 Mbps / 30±5 ms RTT and 30 Mbps /
+//    5±2 ms RTT, the paper's xDSL+LTE stand-ins). Both A and M run the WRR
+//    LWT eBPF program that encapsulates each packet towards one of two
+//    End.DT6 SIDs on the far side, weighted 5:3. The CPE additionally hosts
+//    an End.DM-TWD SID; a daemon on A sends two-way delay probes over each
+//    link, computes the delay difference, and programs a netem delay on the
+//    fast link to mitigate TCP reordering.
+//
+//  * Fig4Lab — the UDP forwarding-performance experiment on the Turris Omnia
+//    CPE (Figure 4): plain IPv6 forwarding vs kernel decap vs eBPF WRR
+//    (interpreter only, because of the ARM32 JIT bug).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "apps/daemons.h"
+#include "apps/sink.h"
+#include "apps/tcp.h"
+#include "apps/udp_flow.h"
+#include "sim/network.h"
+#include "usecases/programs.h"
+
+namespace srv6bpf::usecases {
+
+class HybridLab {
+ public:
+  struct Options {
+    // Link 1 (xDSL-like) and link 2 (LTE-like), as in the paper.
+    std::uint64_t link1_bps = 50 * 1000 * 1000;
+    sim::TimeNs link1_rtt = 30 * sim::kMilli;
+    sim::TimeNs link1_jitter_rtt = 5 * sim::kMilli;
+    std::uint64_t link2_bps = 30 * 1000 * 1000;
+    sim::TimeNs link2_rtt = 5 * sim::kMilli;
+    sim::TimeNs link2_jitter_rtt = 2 * sim::kMilli;
+    std::uint64_t weight1 = 5;  // WRR weights match the link capacities
+    std::uint64_t weight2 = 3;
+    bool twd_compensation = false;
+    sim::TimeNs twd_interval = 50 * sim::kMilli;
+    std::uint64_t seed = 7;
+  };
+
+  explicit HybridLab(const Options& opts);
+
+  // Starts `flows` parallel bulk TCP connections S1 -> S2 and runs for
+  // `duration`. Returns aggregated goodput in Mbps.
+  double run_tcp(int flows, sim::TimeNs duration);
+
+  sim::Network& net() noexcept { return net_; }
+  sim::Link* link1() noexcept { return link1_; }
+  sim::Link* link2() noexcept { return link2_; }
+  sim::Node& s1() noexcept { return *s1_; }
+  sim::Node& aggbox() noexcept { return *a_; }
+  sim::Node& cpe() noexcept { return *m_; }
+  sim::Node& s2() noexcept { return *s2_; }
+  std::uint64_t total_retransmits() const;
+  int sender_dupack_threshold() const {
+    return senders_.empty() ? 0 : senders_.front()->dupack_threshold();
+  }
+  std::uint64_t total_timeouts() const;
+  std::uint64_t receiver_ooo_segments() const;
+  // Most recent delay difference measured by the TWD daemon (ns).
+  std::int64_t measured_delay_diff() const noexcept { return delay_diff_; }
+  std::uint64_t twd_probes_returned() const noexcept { return twd_rx_; }
+
+ private:
+  void start_twd_daemon(const Options& opts);
+  void start_probe_cycle();
+  void send_twd_probe(int link_index);
+
+  sim::Network net_;
+  sim::Node* s1_;
+  sim::Node* a_;
+  sim::Node* m_;
+  sim::Node* s2_;
+  sim::Link* link1_ = nullptr;
+  sim::Link* link2_ = nullptr;
+  int a_link1_side_ = 0;
+  int a_link2_side_ = 0;
+
+  std::unique_ptr<apps::AppMux> mux_s1_;
+  std::unique_ptr<apps::AppMux> mux_s2_;
+  std::unique_ptr<apps::AppMux> mux_a_;
+  std::vector<std::unique_ptr<apps::TcpSender>> senders_;
+  std::vector<std::unique_ptr<apps::TcpReceiver>> receivers_;
+
+  // TWD daemon state on A.
+  bool twd_on_ = false;
+  sim::TimeNs twd_interval_ = 0;
+  std::uint64_t twd_seq_ = 0;
+  std::uint64_t twd_rx_ = 0;
+  // Windowed minimum filter per link: the minimum one-way delay over the
+  // last N probes tracks propagation + compensation while rejecting
+  // queueing spikes (the BBR/LEDBAT trick).
+  std::deque<double> owd_window_[2];
+  bool owd_valid_[2] = {false, false};
+  sim::TimeNs base_delay_[2] = {0, 0}; // netem propagation delay (config)
+  sim::TimeNs comp_[2] = {0, 0};       // compensation currently applied
+  std::int64_t delay_diff_ = 0;
+  void apply_compensation();
+};
+
+class Fig4Lab {
+ public:
+  enum class Mode { kPlainForward, kKernelDecap, kEbpfWrr };
+
+  struct Options {
+    Mode mode = Mode::kPlainForward;
+    std::uint64_t seed = 11;
+  };
+
+  explicit Fig4Lab(const Options& opts);
+
+  // Offers a 1 Gbps iperf3-like UDP flow with the given payload size through
+  // the Turris CPE and returns the aggregated goodput in Mbps.
+  double run_udp(std::size_t payload_size, sim::TimeNs duration);
+
+ private:
+  sim::Network net_;
+  sim::Node* s1_;
+  sim::Node* m_;  // Turris Omnia
+  sim::Node* s2_;
+  Mode mode_;
+  std::unique_ptr<apps::AppMux> mux_s2_;
+  std::unique_ptr<apps::UdpSink> sink_;
+  std::unique_ptr<apps::UdpFlowSender> flow_;
+};
+
+}  // namespace srv6bpf::usecases

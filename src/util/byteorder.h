@@ -1,0 +1,93 @@
+// Byte-order helpers for on-wire packet formats.
+//
+// All multi-byte fields in IPv6/SRH/UDP/TCP headers are big-endian on the
+// wire. These helpers read/write integers at unaligned byte offsets without
+// invoking undefined behaviour (memcpy-based, optimised away by compilers).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace srv6bpf {
+
+constexpr std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+constexpr std::uint64_t bswap64(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(bswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         bswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+constexpr std::uint16_t host_to_be16(std::uint16_t v) noexcept {
+  return kHostIsLittleEndian ? bswap16(v) : v;
+}
+constexpr std::uint32_t host_to_be32(std::uint32_t v) noexcept {
+  return kHostIsLittleEndian ? bswap32(v) : v;
+}
+constexpr std::uint64_t host_to_be64(std::uint64_t v) noexcept {
+  return kHostIsLittleEndian ? bswap64(v) : v;
+}
+constexpr std::uint16_t be16_to_host(std::uint16_t v) noexcept {
+  return host_to_be16(v);
+}
+constexpr std::uint32_t be32_to_host(std::uint32_t v) noexcept {
+  return host_to_be32(v);
+}
+constexpr std::uint64_t be64_to_host(std::uint64_t v) noexcept {
+  return host_to_be64(v);
+}
+
+// Unaligned big-endian loads/stores into byte buffers.
+inline std::uint8_t load_u8(const std::uint8_t* p) noexcept { return *p; }
+inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be16_to_host(v);
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be32_to_host(v);
+}
+inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return be64_to_host(v);
+}
+inline void store_u8(std::uint8_t* p, std::uint8_t v) noexcept { *p = v; }
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  v = host_to_be16(v);
+  std::memcpy(p, &v, sizeof v);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  v = host_to_be32(v);
+  std::memcpy(p, &v, sizeof v);
+}
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  v = host_to_be64(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+// Host-endian unaligned accessors (used by the eBPF VM for MEM loads/stores;
+// eBPF memory accesses are little-endian per the ISA on LE hosts).
+template <typename T>
+inline T load_unaligned(const void* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+template <typename T>
+inline void store_unaligned(void* p, T v) noexcept {
+  std::memcpy(p, &v, sizeof v);
+}
+
+}  // namespace srv6bpf

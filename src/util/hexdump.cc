@@ -1,0 +1,46 @@
+#include "util/hexdump.h"
+
+#include <cctype>
+
+namespace srv6bpf {
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const std::uint8_t> data) {
+  std::string out;
+  for (std::size_t line = 0; line < data.size(); line += 16) {
+    // Offset column.
+    for (int shift = 12; shift >= 0; shift -= 4)
+      out.push_back(kHexDigits[(line >> shift) & 0xf]);
+    out += "  ";
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (line + i < data.size()) {
+        out.push_back(kHexDigits[data[line + i] >> 4]);
+        out.push_back(kHexDigits[data[line + i] & 0xf]);
+      } else {
+        out += "  ";
+      }
+      out.push_back(i == 7 ? ' ' : ' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && line + i < data.size(); ++i) {
+      const char c = static_cast<char>(data[line + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace srv6bpf

@@ -1,0 +1,16 @@
+// Debug helpers: hex dumps of packet buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace srv6bpf {
+
+// Classic 16-bytes-per-line hex + ASCII dump.
+std::string hexdump(std::span<const std::uint8_t> data);
+
+// Compact "deadbeef..." hex string.
+std::string hex(std::span<const std::uint8_t> data);
+
+}  // namespace srv6bpf

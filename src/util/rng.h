@@ -1,0 +1,36 @@
+// Deterministic, seedable random number generation.
+//
+// Everything stochastic in the simulator (netem jitter, probing choices,
+// ECMP tie-breaking) draws from an explicitly seeded Rng so that tests and
+// benchmark tables are exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace srv6bpf {
+
+// xoshiro256** — small, fast, high-quality; good enough for simulation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+  std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+  // Uniform in [0, 1).
+  double next_double() noexcept;
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+  // Normal distribution via Box-Muller (mean, stddev).
+  double normal(double mean, double stddev) noexcept;
+  // Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace srv6bpf

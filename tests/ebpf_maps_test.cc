@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ebpf/map.h"
+#include "ebpf/map_impl.h"
+#include "ebpf/perf_event.h"
+
+namespace srv6bpf::ebpf {
+namespace {
+
+MapDef array_def(std::uint32_t entries, std::uint32_t value_size = 8) {
+  return {MapType::kArray, 4, value_size, entries, "arr"};
+}
+
+TEST(ArrayMap, LookupAlwaysSucceedsInRange) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 2;
+  auto* v = map->find(key);
+  ASSERT_NE(v, nullptr);
+  // Preallocated and zeroed.
+  std::uint64_t val;
+  std::memcpy(&val, v, 8);
+  EXPECT_EQ(val, 0u);
+}
+
+TEST(ArrayMap, OutOfRangeIndexFails) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 4;
+  EXPECT_EQ(map->find(key), nullptr);
+}
+
+TEST(ArrayMap, UpdateThenLookup) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 1;
+  const std::uint64_t value = 0xabcdef;
+  EXPECT_EQ(map->put(key, value), kOk);
+  std::uint64_t got;
+  std::memcpy(&got, map->find(key), 8);
+  EXPECT_EQ(got, value);
+}
+
+TEST(ArrayMap, DeleteIsInvalid) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 1;
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&key), 4}),
+            kErrInval);
+}
+
+TEST(ArrayMap, NoExistFlagCannotSucceed) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 0;
+  const std::uint64_t value = 1;
+  EXPECT_EQ(map->put(key, value, BPF_NOEXIST), kErrExist);
+}
+
+TEST(ArrayMap, StablePointerAcrossUpdates) {
+  auto map = make_map(array_def(4));
+  const std::uint32_t key = 3;
+  auto* before = map->find(key);
+  const std::uint64_t value = 7;
+  map->put(key, value);
+  EXPECT_EQ(map->find(key), before);
+}
+
+TEST(HashMap, InsertLookupDelete) {
+  auto map = make_map({MapType::kHash, 8, 8, 16, "h"});
+  const std::uint64_t key = 0x1234, value = 0x5678;
+  EXPECT_EQ(map->find(key), nullptr);
+  EXPECT_EQ(map->put(key, value), kOk);
+  ASSERT_NE(map->find(key), nullptr);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&key), 8}), kOk);
+  EXPECT_EQ(map->find(key), nullptr);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&key), 8}),
+            kErrNoEnt);
+}
+
+TEST(HashMap, UpdateFlagsSemantics) {
+  auto map = make_map({MapType::kHash, 8, 8, 16, "h"});
+  const std::uint64_t key = 1, v1 = 10, v2 = 20;
+  EXPECT_EQ(map->put(key, v1, BPF_EXIST), kErrNoEnt);   // must exist
+  EXPECT_EQ(map->put(key, v1, BPF_NOEXIST), kOk);       // create
+  EXPECT_EQ(map->put(key, v2, BPF_NOEXIST), kErrExist); // already there
+  EXPECT_EQ(map->put(key, v2, BPF_EXIST), kOk);         // update
+  std::uint64_t got;
+  std::memcpy(&got, map->find(key), 8);
+  EXPECT_EQ(got, v2);
+}
+
+TEST(HashMap, CapacityEnforced) {
+  auto map = make_map({MapType::kHash, 8, 8, 2, "h"});
+  const std::uint64_t v = 0;
+  for (std::uint64_t k = 0; k < 2; ++k) EXPECT_EQ(map->put(k, v), kOk);
+  const std::uint64_t k3 = 99;
+  EXPECT_EQ(map->put(k3, v), kErrNoSpace);
+  // Updating an existing key still works at capacity.
+  const std::uint64_t k0 = 0;
+  EXPECT_EQ(map->put(k0, v), kOk);
+}
+
+TEST(HashMap, ValuePointersSurviveRehash) {
+  auto map = make_map({MapType::kHash, 8, 8, 4096, "h"});
+  const std::uint64_t k0 = 0, v = 42;
+  map->put(k0, v);
+  auto* p = map->find(k0);
+  for (std::uint64_t k = 1; k < 1000; ++k) map->put(k, v);
+  EXPECT_EQ(map->find(k0), p);
+}
+
+// ---- LPM trie ------------------------------------------------------------------
+
+struct LpmKey {
+  std::uint32_t prefixlen;
+  std::uint8_t data[4];
+};
+
+TEST(LpmTrie, LongestPrefixWins) {
+  auto map = make_map({MapType::kLpmTrie, 4 + 4, 4, 16, "lpm"});
+  const LpmKey k8{8, {10, 0, 0, 0}};
+  const LpmKey k16{16, {10, 1, 0, 0}};
+  const std::uint32_t v8 = 8, v16 = 16;
+  EXPECT_EQ(map->put(k8, v8), kOk);
+  EXPECT_EQ(map->put(k16, v16), kOk);
+
+  const LpmKey q1{32, {10, 1, 2, 3}};   // matches /16 (longer)
+  const LpmKey q2{32, {10, 9, 2, 3}};   // only /8
+  std::uint32_t got;
+  std::memcpy(&got, map->find(q1), 4);
+  EXPECT_EQ(got, 16u);
+  std::memcpy(&got, map->find(q2), 4);
+  EXPECT_EQ(got, 8u);
+}
+
+TEST(LpmTrie, NoMatchReturnsNull) {
+  auto map = make_map({MapType::kLpmTrie, 4 + 4, 4, 16, "lpm"});
+  const LpmKey k8{8, {10, 0, 0, 0}};
+  const std::uint32_t v = 1;
+  map->put(k8, v);
+  const LpmKey q{32, {11, 0, 0, 1}};
+  EXPECT_EQ(map->find(q), nullptr);
+}
+
+TEST(LpmTrie, DefaultRouteZeroLenMatchesEverything) {
+  auto map = make_map({MapType::kLpmTrie, 4 + 4, 4, 16, "lpm"});
+  const LpmKey k0{0, {0, 0, 0, 0}};
+  const std::uint32_t v = 77;
+  EXPECT_EQ(map->put(k0, v), kOk);
+  const LpmKey q{32, {1, 2, 3, 4}};
+  std::uint32_t got;
+  std::memcpy(&got, map->find(q), 4);
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(LpmTrie, DeleteRestoresShorterMatch) {
+  auto map = make_map({MapType::kLpmTrie, 4 + 4, 4, 16, "lpm"});
+  const LpmKey k8{8, {10, 0, 0, 0}};
+  const LpmKey k16{16, {10, 1, 0, 0}};
+  const std::uint32_t v8 = 8, v16 = 16;
+  map->put(k8, v8);
+  map->put(k16, v16);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&k16), 8}), kOk);
+  const LpmKey q{32, {10, 1, 2, 3}};
+  std::uint32_t got;
+  std::memcpy(&got, map->find(q), 4);
+  EXPECT_EQ(got, 8u);
+}
+
+TEST(LpmTrie, PrefixLenBeyondKeyRejected) {
+  auto map = make_map({MapType::kLpmTrie, 4 + 4, 4, 16, "lpm"});
+  const LpmKey bad{33, {1, 2, 3, 4}};
+  const std::uint32_t v = 0;
+  EXPECT_EQ(map->put(bad, v), kErrInval);
+}
+
+// ---- Registry & perf event array ---------------------------------------------------
+
+TEST(MapRegistry, IdsStartAtOneAndResolve) {
+  MapRegistry reg;
+  EXPECT_EQ(reg.get(0), nullptr);
+  const auto id = reg.create(array_def(1));
+  EXPECT_EQ(id, 1u);
+  EXPECT_NE(reg.get(id), nullptr);
+  EXPECT_EQ(reg.get(id + 1), nullptr);
+}
+
+TEST(PerfEventBuffer, PushPollFifo) {
+  PerfEventBuffer buf(4);
+  const std::uint8_t a[] = {1}, b[] = {2};
+  EXPECT_TRUE(buf.push(100, a));
+  EXPECT_TRUE(buf.push(200, b));
+  auto r1 = buf.poll();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->time_ns, 100u);
+  EXPECT_EQ(r1->data[0], 1);
+  auto r2 = buf.poll();
+  EXPECT_EQ(r2->data[0], 2);
+  EXPECT_FALSE(buf.poll().has_value());
+}
+
+TEST(PerfEventBuffer, DropsWhenFull) {
+  PerfEventBuffer buf(2);
+  const std::uint8_t x[] = {0};
+  EXPECT_TRUE(buf.push(0, x));
+  EXPECT_TRUE(buf.push(0, x));
+  EXPECT_FALSE(buf.push(0, x));
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.produced(), 2u);
+}
+
+TEST(PerfEventArray, BpfSideOperationsRejected) {
+  MapRegistry reg;
+  const auto id = create_perf_event_array(reg, "events");
+  Map* map = reg.get(id);
+  const std::uint32_t key = 0;
+  EXPECT_EQ(map->find(key), nullptr);
+  const std::uint32_t v = 0;
+  EXPECT_EQ(map->put(key, v), kErrInval);
+}
+
+TEST(MakeMap, RejectsBadDefs) {
+  EXPECT_THROW(make_map({MapType::kArray, 8, 8, 4, "bad"}),
+               std::invalid_argument);  // array key must be 4
+  EXPECT_THROW(make_map({MapType::kArray, 4, 0, 4, "bad"}),
+               std::invalid_argument);
+  EXPECT_THROW(make_map({MapType::kLpmTrie, 4, 4, 4, "bad"}),
+               std::invalid_argument);  // no room for prefix data
+}
+
+}  // namespace
+}  // namespace srv6bpf::ebpf

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/costmodel.h"
+#include "sim/event_loop.h"
+#include "sim/netem.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace srv6bpf::sim {
+namespace {
+
+net::Ipv6Addr A(const char* s) { return net::Ipv6Addr::must_parse(s); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s).value(); }
+
+// ---- event loop -----------------------------------------------------------------
+
+TEST(EventLoop, OrdersByTimeThenFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(200, [&] { order.push_back(2); });
+  loop.schedule_at(100, [&] { order.push_back(1); });
+  loop.schedule_at(200, [&] { order.push_back(3); });  // same time: FIFO
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 200u);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockEvenWhenIdle) {
+  EventLoop loop;
+  loop.run_until(5000);
+  EXPECT_EQ(loop.now(), 5000u);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10, [&] {
+    loop.schedule(10, [&] { ++fired; });
+  });
+  loop.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.executed(), 2u);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(100, [&] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_at(50, [&] { ran = true; });  // in the past
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), 100u);
+}
+
+// ---- netem ----------------------------------------------------------------------
+
+TEST(Netem, FixedDelay) {
+  NetemQdisc q({.delay_ns = 1000, .jitter_ns = 0});
+  Rng rng(1);
+  const auto d = q.enqueue(0, 100, rng);
+  EXPECT_FALSE(d.dropped);
+  EXPECT_EQ(d.deliver_at, 1000u);
+}
+
+TEST(Netem, RateShapingSerializesBackToBack) {
+  // 8 Mbps -> 1000 bytes take 1 ms.
+  NetemQdisc q({.delay_ns = 0, .jitter_ns = 0, .rate_bps = 8'000'000});
+  Rng rng(1);
+  const auto d1 = q.enqueue(0, 1000, rng);
+  const auto d2 = q.enqueue(0, 1000, rng);
+  EXPECT_EQ(d1.deliver_at, kMilli);
+  EXPECT_EQ(d2.deliver_at, 2 * kMilli);
+}
+
+TEST(Netem, QueueOverflowDrops) {
+  NetemQdisc q({.delay_ns = 0,
+                .jitter_ns = 0,
+                .rate_bps = 8'000'000,
+                .limit_bytes = 2000});
+  Rng rng(1);
+  int drops = 0;
+  for (int i = 0; i < 10; ++i)
+    if (q.enqueue(0, 1000, rng).dropped) ++drops;
+  EXPECT_GT(drops, 0);
+  EXPECT_EQ(q.drops(), static_cast<std::uint64_t>(drops));
+}
+
+TEST(Netem, JitterVariesButKeepsOrder) {
+  NetemQdisc q({.delay_ns = 10 * kMilli, .jitter_ns = 3 * kMilli});
+  Rng rng(7);
+  TimeNs prev = 0;
+  bool varied = false;
+  TimeNs first = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = q.enqueue(static_cast<TimeNs>(i) * kMilli, 100, rng);
+    ASSERT_FALSE(d.dropped);
+    EXPECT_GE(d.deliver_at, prev) << "keep_order must prevent reordering";
+    if (i == 0) first = d.deliver_at;
+    if (d.deliver_at - static_cast<TimeNs>(i) * kMilli != first) varied = true;
+    prev = d.deliver_at;
+  }
+  EXPECT_TRUE(varied);
+}
+
+// ---- cost model ------------------------------------------------------------------
+
+TEST(CostModel, BaselineMatches610Kpps) {
+  seg6::ProcessTrace t;
+  const auto cost = packet_cost_ns(kXeonProfile, t);
+  // 610 kpps -> 1639.3 ns.
+  EXPECT_NEAR(1e9 / static_cast<double>(cost), 610e3, 2e3);
+}
+
+TEST(CostModel, ComponentsAreAdditive) {
+  seg6::ProcessTrace t;
+  t.seg6local_ops = 1;
+  t.bpf_runs = 1;
+  t.bpf_insns_jit = 100;
+  t.helper_calls = 2;
+  const auto cost = packet_cost_ns(kXeonProfile, t);
+  const auto expect = kXeonProfile.forward_ns + kXeonProfile.seg6_op_ns +
+                      kXeonProfile.bpf_entry_ns +
+                      static_cast<std::uint64_t>(100 * kXeonProfile.jit_insn_ns) +
+                      2 * kXeonProfile.helper_call_ns;
+  EXPECT_NEAR(static_cast<double>(cost), static_cast<double>(expect), 2.0);
+}
+
+TEST(CostModel, InterpreterCostsMoreThanJit) {
+  seg6::ProcessTrace jit, interp;
+  jit.bpf_insns_jit = 200;
+  interp.bpf_insns_interp = 200;
+  EXPECT_GT(packet_cost_ns(kXeonProfile, interp),
+            packet_cost_ns(kXeonProfile, jit));
+}
+
+// ---- links + node pipeline ----------------------------------------------------------
+
+struct Line {
+  Network net;
+  Node* a;
+  Node* r;
+  Node* b;
+  Line() {
+    a = &net.add_node("a");
+    r = &net.add_node("r");
+    b = &net.add_node("b");
+    auto l1 = net.connect(*a, A("fc00:1::1"), *r, A("fc00:1::2"),
+                          1'000'000'000ull, kMilli);
+    auto l2 = net.connect(*r, A("fc00:2::1"), *b, A("fc00:2::2"),
+                          1'000'000'000ull, kMilli);
+    a->ns().table(0).add_route(P("::/0"), {A("fc00:1::2"), l1.a_ifindex, 1});
+    r->ns().table(0).add_route(P("fc00:2::/64"),
+                               {net::Ipv6Addr{}, l2.a_ifindex, 1});
+    r->ns().table(0).add_route(P("fc00:1::/64"),
+                               {net::Ipv6Addr{}, l1.b_ifindex, 1});
+    b->ns().table(0).add_route(P("::/0"), {A("fc00:2::1"), l2.b_ifindex, 1});
+  }
+  net::Packet udp(std::uint8_t hop_limit = 64) {
+    net::PacketSpec spec;
+    spec.src = A("fc00:1::1");
+    spec.dst = A("fc00:2::2");
+    spec.hop_limit = hop_limit;
+    return net::make_udp_packet(spec);
+  }
+};
+
+TEST(Node, ForwardsAndDecrementsHopLimit) {
+  Line line;
+  std::uint8_t seen_hl = 0;
+  line.b->set_local_handler([&](net::Packet&& p, TimeNs) {
+    seen_hl = p.ipv6().hop_limit();
+  });
+  line.a->send(line.udp(64));
+  line.net.run_for(10 * kMilli);
+  EXPECT_EQ(seen_hl, 63);
+  EXPECT_EQ(line.r->stats.tx_packets, 1u);
+}
+
+TEST(Node, PropagationDelayIsApplied) {
+  Line line;
+  TimeNs arrival = 0;
+  line.b->set_local_handler([&](net::Packet&&, TimeNs now) { arrival = now; });
+  line.a->send(line.udp());
+  line.net.run_for(10 * kMilli);
+  // Two 1 ms hops plus tiny serialization.
+  EXPECT_GE(arrival, 2 * kMilli);
+  EXPECT_LT(arrival, 2 * kMilli + 100 * kMicro);
+}
+
+TEST(Node, HopLimitExpiryDropsAndSendsIcmp) {
+  Line line;
+  bool got_icmp = false;
+  line.a->set_local_handler([&](net::Packet&& p, TimeNs) {
+    if (p.size() >= 48 && p.data()[6] == net::kProtoIcmp6 && p.data()[40] == 3)
+      got_icmp = true;
+  });
+  line.a->send(line.udp(/*hop_limit=*/1));
+  line.net.run_for(10 * kMilli);
+  EXPECT_EQ(line.r->stats.drops_ttl, 1u);
+  EXPECT_EQ(line.r->stats.icmp_time_exceeded_sent, 1u);
+  EXPECT_TRUE(got_icmp) << "ICMPv6 time exceeded must reach the source";
+}
+
+TEST(Node, NoRouteDrops) {
+  Line line;
+  net::PacketSpec spec;
+  spec.src = A("fc00:1::1");
+  spec.dst = A("dead::1");
+  net::Packet p = net::make_udp_packet(spec);
+  line.a->send(std::move(p));  // A has default; R drops (no route for dead::)
+  line.net.run_for(10 * kMilli);
+  // R has no ::/0 so it drops.
+  EXPECT_EQ(line.r->stats.drops_no_route, 1u);
+}
+
+TEST(Node, CpuModelCapsForwardingRate) {
+  Line line;
+  line.r->cpu.enabled = true;
+  line.r->cpu.profile = kXeonProfile;  // ~610 kpps
+
+  std::uint64_t received = 0;
+  line.b->set_local_handler([&](net::Packet&&, TimeNs) { ++received; });
+
+  // Offer 100k packets in 50 ms = 2 Mpps >> capacity.
+  for (int i = 0; i < 100000; ++i) {
+    const TimeNs t = static_cast<TimeNs>(i) * 500;  // 2 Mpps
+    auto pkt = line.udp();
+    line.net.loop().schedule_at(t, [&line, p = std::move(pkt)]() mutable {
+      line.a->send(std::move(p));
+    });
+  }
+  line.net.run_for(60 * kMilli);
+  // 50 ms of offered load at ~610 kpps service rate ≈ 30.5k packets, plus
+  // the drained backlog and the post-offer service tail.
+  EXPECT_GT(line.r->stats.drops_rx_queue, 0u) << "overload must tail-drop";
+  EXPECT_NEAR(static_cast<double>(received), 32'000.0, 3'000.0);
+}
+
+TEST(Node, EcmpSplitsFlowsAcrossNexthops) {
+  Network net;
+  auto& a = net.add_node("a");
+  auto& r1 = net.add_node("r1");
+  auto& r2 = net.add_node("r2");
+  auto l1 = net.connect(a, A("fc00:1::1"), r1, A("fc00:1::2"),
+                        1'000'000'000ull, kMilli);
+  auto l2 = net.connect(a, A("fc00:3::1"), r2, A("fc00:3::2"),
+                        1'000'000'000ull, kMilli);
+  seg6::Route route;
+  route.prefix = P("fc00:2::/64");
+  route.nexthops = {{A("fc00:1::2"), l1.a_ifindex, 1},
+                    {A("fc00:3::2"), l2.a_ifindex, 1}};
+  a.ns().table(0).add_route(route);
+
+  for (int flow = 0; flow < 64; ++flow) {
+    net::PacketSpec spec;
+    spec.src = A("fc00:1::1");
+    spec.dst = A("fc00:2::2");
+    spec.src_port = static_cast<std::uint16_t>(10000 + flow);
+    a.send(net::make_udp_packet(spec));
+  }
+  net.run_for(10 * kMilli);
+  EXPECT_GT(r1.stats.rx_packets, 10u);
+  EXPECT_GT(r2.stats.rx_packets, 10u);
+  EXPECT_EQ(r1.stats.rx_packets + r2.stats.rx_packets, 64u);
+}
+
+}  // namespace
+}  // namespace srv6bpf::sim
