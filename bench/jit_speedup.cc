@@ -19,12 +19,12 @@ using namespace srv6bpf::bench;
 namespace {
 
 // Wall-clock ns/run of a seg6local program processed through End.BPF.
-double wallclock_ns_per_run(const usecases::BuiltProgram& built, bool jit,
-                            int iters = 20000) {
+double wallclock_ns_per_run(const usecases::BuiltProgram& built,
+                            ebpf::EngineKind engine, int iters = 20000) {
   seg6::Netns ns("bench");
   ns.table(0).add_route(net::Prefix::parse("fc00::/16").value(),
                         {net::Ipv6Addr::must_parse("fe80::1"), 0, 1});
-  ns.bpf().set_jit_enabled(jit);
+  ns.bpf().set_engine(engine);
   auto load = ns.bpf().load(built.name, ebpf::ProgType::kLwtSeg6Local,
                             built.insns, built.paper_sloc);
   if (!load.ok()) {
@@ -76,18 +76,20 @@ int main() {
 
   std::printf("\n-- real engine wall-clock on this machine (End.BPF + "
               "program + helpers, per packet) --\n");
-  std::printf("%-16s %14s %14s %10s\n", "program", "JIT ns/pkt",
-              "interp ns/pkt", "factor");
+  std::printf("%-16s %12s %14s %14s %10s %10s\n", "program", "JIT ns/pkt",
+              "interp ns/pkt", "base-interp", "int/jit", "base/int");
   const usecases::BuiltProgram progs[] = {
       usecases::build_end(),
       usecases::build_tag_increment(),
       usecases::build_add_tlv(),
   };
   for (const auto& p : progs) {
-    const double jit_ns = wallclock_ns_per_run(p, true);
-    const double int_ns = wallclock_ns_per_run(p, false);
-    std::printf("%-16s %14.1f %14.1f %9.2fx\n", p.name, jit_ns, int_ns,
-                int_ns / jit_ns);
+    const double jit_ns = wallclock_ns_per_run(p, ebpf::EngineKind::kJit);
+    const double int_ns = wallclock_ns_per_run(p, ebpf::EngineKind::kInterp);
+    const double base_ns =
+        wallclock_ns_per_run(p, ebpf::EngineKind::kInterpBaseline);
+    std::printf("%-16s %12.1f %14.1f %14.1f %9.2fx %9.2fx\n", p.name, jit_ns,
+                int_ns, base_ns, int_ns / jit_ns, base_ns / int_ns);
   }
 
   std::printf("\n-- simulated Xeon forwarding rate, Add TLV (fig. 2 "

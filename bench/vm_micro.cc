@@ -1,14 +1,33 @@
-// google-benchmark microbenchmarks of the eBPF machinery itself: engine
-// dispatch, helper call overhead, map operations, verifier load time.
+// Microbenchmarks of the eBPF machinery itself.
+//
+// Part 1 (custom, runs first): engine-only throughput of the three execution
+// engines — baseline decode-every-step interpreter, pre-decoded threaded
+// interpreter, JIT — on the paper's §3.2 seg6local programs plus a 512-insn
+// ALU chain, with results written to BENCH_vm.json so the perf trajectory is
+// machine-trackable across PRs. "Engine-only" means the ExecEnv/ctx are
+// built once and the timed loop contains only the VM run (plus a packet
+// reset for the one program that resizes it); this isolates what the
+// decode-once refactor actually changed.
+//
+// Part 2: google-benchmark microbenchmarks of dispatch, helper-call, map and
+// verifier costs (skipped when --json-only is passed; CI smoke uses that).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "ebpf/asm.h"
 #include "ebpf/helpers.h"
 #include "ebpf/map.h"
 #include "ebpf/perf_event.h"
+#include "ebpf/skb.h"
 #include "ebpf/vm.h"
+#include "net/packet.h"
+#include "seg6/ctx.h"
 #include "usecases/programs.h"
 
 namespace {
@@ -32,23 +51,203 @@ std::vector<Insn> alu_chain(int n) {
   return a.build();
 }
 
-void BM_EngineAluChain(benchmark::State& state, bool jit) {
+// ---------------------------------------------------------------------------
+// Part 1: §3.2 engine comparison -> BENCH_vm.json
+// ---------------------------------------------------------------------------
+
+// Engine-only ns/run of a seg6local program: Netns, ExecEnv and SkbCtx are
+// prepared once; the timed loop is the VM invocation itself. Programs that
+// resize the packet (Add TLV) get a cheap in-place packet reset per
+// iteration so the workload stays constant.
+double engine_only_ns(const usecases::BuiltProgram& built, EngineKind engine,
+                      bool reset_packet, int iters) {
+  seg6::Netns ns("bench");
+  ns.table(0).add_route(net::Prefix::parse("fc00::/16").value(),
+                        {net::Ipv6Addr::must_parse("fe80::1"), 0, 1});
+  ns.bpf().set_engine(engine);
+  auto load = ns.bpf().load(built.name, ProgType::kLwtSeg6Local, built.insns,
+                            built.paper_sloc);
+  if (!load.ok()) {
+    std::fprintf(stderr, "%s rejected: %s\n", built.name,
+                 load.verify.error.c_str());
+    std::exit(1);
+  }
+
+  net::PacketSpec spec;
+  spec.src = net::Ipv6Addr::must_parse("fc00::1");
+  spec.segments = {net::Ipv6Addr::must_parse("fc00::e1"),
+                   net::Ipv6Addr::must_parse("fc00::d1")};
+  spec.payload_size = 64;
+  const net::Packet tmpl = net::make_udp_packet(spec);
+  net::Packet pkt = tmpl;
+
+  seg6::Seg6ProgCtx ctx;
+  ctx.netns = &ns;
+  ctx.pkt = &pkt;
+  ctx.skb.protocol = kEthPIpv6Be;
+
+  ExecEnv env;
+  env.user = &ctx;
+  env.now_ns = [&ns] { return ns.now(); };
+  env.prandom = [&ns] { return ns.prandom(); };
+  env.regions.push_back(MemRegion{
+      reinterpret_cast<std::uintptr_t>(&ctx.skb), sizeof ctx.skb, true});
+  env.regions.push_back(MemRegion{0, 0, false});
+  ctx.env = &env;
+  ctx.refresh_packet_view();
+
+  volatile std::uint64_t sink = 0;
+  const std::uint64_t skb_addr = reinterpret_cast<std::uint64_t>(&ctx.skb);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (reset_packet) {
+      pkt = tmpl;  // copy-assign reuses capacity after the first iteration
+      ctx.refresh_packet_view();
+    }
+    sink = ns.bpf().run(*load.prog, env, skb_addr).ret;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+// Bare engine ns/run for programs needing no packet/netns (the ALU chain).
+double bare_engine_ns(const std::vector<Insn>& insns, EngineKind engine,
+                      int iters) {
+  BpfSystem sys;
+  auto load = sys.load("alu", ProgType::kLwtSeg6Local, insns);
+  if (!load.ok()) {
+    std::fprintf(stderr, "alu chain rejected: %s\n",
+                 load.verify.error.c_str());
+    std::exit(1);
+  }
+  sys.set_engine(engine);
+  ExecEnv env;
+  volatile std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) sink = sys.run(*load.prog, env, 0).ret;
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+struct Row {
+  std::string name;
+  bool sec32;  // counts toward the §3.2 geomean
+  double baseline_ns, predecoded_ns, jit_ns;
+};
+
+void emit_json(const std::vector<Row>& rows, double geomean) {
+  std::FILE* f = std::fopen("BENCH_vm.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_vm.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"vm_micro\",\n");
+  std::fprintf(f, "  \"measurement\": \"engine_only_ns_per_run\",\n");
+  std::fprintf(f, "  \"programs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"paper_sec32\": %s, "
+                 "\"baseline_interp_ns\": %.1f, \"predecoded_interp_ns\": "
+                 "%.1f, \"jit_ns\": %.1f, "
+                 "\"speedup_predecoded_vs_baseline\": %.2f, "
+                 "\"speedup_jit_vs_baseline\": %.2f}%s\n",
+                 r.name.c_str(), r.sec32 ? "true" : "false", r.baseline_ns,
+                 r.predecoded_ns, r.jit_ns, r.baseline_ns / r.predecoded_ns,
+                 r.baseline_ns / r.jit_ns,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"sec32_geomean_speedup_predecoded_vs_baseline\": %.2f\n",
+               geomean);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+void run_engine_comparison(int iters) {
+  std::printf("-- engine-only ns/run (decode-once refactor scoreboard) --\n");
+  std::printf("%-18s %12s %12s %10s %10s\n", "program", "baseline",
+              "pre-decoded", "jit", "speedup");
+
+  std::vector<Row> rows;
+  struct Prog {
+    usecases::BuiltProgram built;
+    bool reset_packet;
+  };
+  const Prog progs[] = {
+      {usecases::build_end(), false},
+      {usecases::build_tag_increment(), false},
+      {usecases::build_add_tlv(), true},  // resizes the packet every run
+  };
+  for (const Prog& p : progs) {
+    Row r;
+    r.name = p.built.name;
+    r.sec32 = true;
+    r.baseline_ns = engine_only_ns(p.built, EngineKind::kInterpBaseline,
+                                   p.reset_packet, iters);
+    r.predecoded_ns =
+        engine_only_ns(p.built, EngineKind::kInterp, p.reset_packet, iters);
+    r.jit_ns =
+        engine_only_ns(p.built, EngineKind::kJit, p.reset_packet, iters);
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.name = "alu_chain_512";
+    r.sec32 = false;
+    const auto chain = alu_chain(512);
+    r.baseline_ns = bare_engine_ns(chain, EngineKind::kInterpBaseline,
+                                   iters / 4 + 1);
+    r.predecoded_ns =
+        bare_engine_ns(chain, EngineKind::kInterp, iters / 4 + 1);
+    r.jit_ns = bare_engine_ns(chain, EngineKind::kJit, iters / 4 + 1);
+    rows.push_back(r);
+  }
+
+  double log_sum = 0;
+  int sec32_count = 0;
+  for (const Row& r : rows) {
+    std::printf("%-18s %10.1fns %10.1fns %8.1fns %9.2fx\n", r.name.c_str(),
+                r.baseline_ns, r.predecoded_ns, r.jit_ns,
+                r.baseline_ns / r.predecoded_ns);
+    if (r.sec32) {
+      log_sum += std::log(r.baseline_ns / r.predecoded_ns);
+      ++sec32_count;
+    }
+  }
+  const double geomean = std::exp(log_sum / sec32_count);
+  std::printf("§3.2 geomean speedup (pre-decoded vs baseline): %.2fx\n",
+              geomean);
+  emit_json(rows, geomean);
+  std::printf("wrote BENCH_vm.json\n\n");
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: google-benchmark micro suite
+// ---------------------------------------------------------------------------
+
+void BM_EngineAluChain(benchmark::State& state, EngineKind engine) {
   BpfSystem sys;
   auto load = sys.load("alu", ProgType::kLwtSeg6Local, alu_chain(512));
   if (!load.ok()) {
     state.SkipWithError(load.verify.error.c_str());
     return;
   }
+  sys.set_engine(engine);
   ExecEnv env;
   for (auto _ : state) {
-    const auto r = jit ? sys.run_jit(*load.prog, env, 0)
-                       : sys.run_interpreted(*load.prog, env, 0);
+    const auto r = sys.run(*load.prog, env, 0);
     benchmark::DoNotOptimize(r.ret);
   }
   state.SetItemsProcessed(state.iterations() * 514);
 }
-BENCHMARK_CAPTURE(BM_EngineAluChain, jit, true);
-BENCHMARK_CAPTURE(BM_EngineAluChain, interp, false);
+BENCHMARK_CAPTURE(BM_EngineAluChain, jit, EngineKind::kJit);
+BENCHMARK_CAPTURE(BM_EngineAluChain, interp, EngineKind::kInterp);
+BENCHMARK_CAPTURE(BM_EngineAluChain, interp_baseline,
+                  EngineKind::kInterpBaseline);
 
 void BM_HelperCallOverhead(benchmark::State& state) {
   BpfSystem sys;
@@ -102,6 +301,17 @@ void BM_VerifierLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifierLoad);
 
+void BM_DecodeProgram(benchmark::State& state) {
+  BpfSystem sys;  // only the helper registry is needed to decode
+  const auto insns = alu_chain(512);
+  for (auto _ : state) {
+    auto decoded = decode_program(insns, &sys.helpers());
+    benchmark::DoNotOptimize(decoded->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 514);
+}
+BENCHMARK(BM_DecodeProgram);
+
 void BM_LpmTrieLookup(benchmark::State& state) {
   MapDef def{MapType::kLpmTrie, 20, 4, 1024, "lpm"};
   auto map = make_map(def);
@@ -128,3 +338,27 @@ void BM_LpmTrieLookup(benchmark::State& state) {
 BENCHMARK(BM_LpmTrieLookup);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own flags before handing argv to google-benchmark.
+  bool json_only = false;
+  int iters = 100000;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0)
+      json_only = true;
+    else if (std::strcmp(argv[i], "--quick") == 0)
+      iters = 5000;
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+
+  run_engine_comparison(iters);
+  if (json_only) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 // bug must not corrupt the simulator).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,6 +27,55 @@ struct MemRegion {
   }
 };
 
+// Small-vector of memory regions with inline storage. A typical program run
+// carries ctx + packet + stack plus a handful of map-value regions, so the
+// common case never touches the heap — the per-packet hot path pushes and
+// pops the stack region on every invocation, which used to cost a vector
+// allocation. Regions beyond the inline capacity spill to a heap vector so
+// correctness is preserved for lookup-heavy programs.
+class RegionList {
+ public:
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  std::size_t size() const noexcept { return size_; }
+
+  void push_back(const MemRegion& r) {
+    if (size_ < kInlineCapacity)
+      inline_[size_] = r;
+    else
+      spill_.push_back(r);
+    ++size_;
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_)
+      spill_.resize(n > kInlineCapacity ? n - kInlineCapacity : 0);
+    else
+      for (std::size_t i = size_; i < n; ++i) push_back(MemRegion{});
+    size_ = n;
+  }
+
+  void clear() noexcept {
+    spill_.clear();
+    size_ = 0;
+  }
+
+  MemRegion& operator[](std::size_t i) noexcept {
+    return i < kInlineCapacity ? inline_[i] : spill_[i - kInlineCapacity];
+  }
+  const MemRegion& operator[](std::size_t i) const noexcept {
+    return i < kInlineCapacity ? inline_[i] : spill_[i - kInlineCapacity];
+  }
+
+ private:
+  // Intentionally not value-initialised: only slots below size_ are ever
+  // read, and zeroing 8 regions on every ExecEnv construction is measurable
+  // on the per-packet path.
+  std::array<MemRegion, kInlineCapacity> inline_;
+  std::vector<MemRegion> spill_;
+  std::size_t size_ = 0;
+};
+
 // Everything a running program may touch. Built by the attachment point
 // (seg6local End.BPF, LWT hook, or a test fixture) before each run.
 struct ExecEnv {
@@ -41,21 +91,21 @@ struct ExecEnv {
 
   // Valid memory regions: the program context and (for packet programs) the
   // packet bytes. The engines add the stack themselves.
-  std::vector<MemRegion> regions;
+  RegionList regions;
 
   // Deterministic source for bpf_get_prandom_u32.
   std::function<std::uint32_t()> prandom;
 
   bool readable(const void* p, std::size_t n) const noexcept {
     const auto a = reinterpret_cast<std::uintptr_t>(p);
-    for (const MemRegion& r : regions)
-      if (r.contains(a, n)) return true;
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      if (regions[i].contains(a, n)) return true;
     return false;
   }
   bool writable(const void* p, std::size_t n) const noexcept {
     const auto a = reinterpret_cast<std::uintptr_t>(p);
-    for (const MemRegion& r : regions)
-      if (r.writable && r.contains(a, n)) return true;
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      if (regions[i].writable && regions[i].contains(a, n)) return true;
     return false;
   }
 };

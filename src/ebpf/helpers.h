@@ -12,7 +12,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -79,9 +78,12 @@ struct HelperProto {
   std::uint8_t allowed_types = kProgAny;
 };
 
-using HelperFn =
-    std::function<std::uint64_t(ExecEnv&, std::uint64_t, std::uint64_t,
-                                std::uint64_t, std::uint64_t, std::uint64_t)>;
+// Raw function pointer, not std::function: helper dispatch is on the
+// per-packet hot path and every registered helper is a capture-less free
+// function. The decode step resolves call sites straight to these pointers.
+using HelperFn = std::uint64_t (*)(ExecEnv&, std::uint64_t, std::uint64_t,
+                                   std::uint64_t, std::uint64_t,
+                                   std::uint64_t);
 
 class HelperRegistry {
  public:

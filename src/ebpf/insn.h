@@ -132,6 +132,12 @@ struct Insn {
 
 static_assert(sizeof(Insn) == 8, "eBPF instructions are 64 bits");
 
+// Sign-extend a 32-bit wire immediate to the 64-bit value eBPF semantics
+// prescribe for ALU64/JMP operands (shared by the decoder and both engines).
+constexpr std::uint64_t sext_imm64(std::int32_t imm) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(imm));
+}
+
 // Byte width of a memory access instruction.
 constexpr int access_size(std::uint8_t size_field) noexcept {
   switch (size_field) {

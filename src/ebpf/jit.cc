@@ -1,217 +1,26 @@
 #include "ebpf/jit.h"
 
 #include <array>
-#include <cstring>
 #include <stdexcept>
-#include <string>
 
 #include "ebpf/insn.h"
 #include "util/byteorder.h"
 
 namespace srv6bpf::ebpf {
-namespace {
-
-// Dense op kinds. ALU ops fold the reg/imm distinction at translation time
-// by materialising immediates into imm64.
-enum Kind : std::uint16_t {
-  // 64-bit ALU, register source
-  kAdd64R, kSub64R, kMul64R, kDiv64R, kMod64R, kOr64R, kAnd64R, kXor64R,
-  kMov64R, kLsh64R, kRsh64R, kArsh64R,
-  // 64-bit ALU, immediate
-  kAdd64I, kSub64I, kMul64I, kDiv64I, kMod64I, kOr64I, kAnd64I, kXor64I,
-  kMov64I, kLsh64I, kRsh64I, kArsh64I, kNeg64,
-  // 32-bit ALU, register source
-  kAdd32R, kSub32R, kMul32R, kDiv32R, kMod32R, kOr32R, kAnd32R, kXor32R,
-  kMov32R, kLsh32R, kRsh32R, kArsh32R,
-  // 32-bit ALU, immediate
-  kAdd32I, kSub32I, kMul32I, kDiv32I, kMod32I, kOr32I, kAnd32I, kXor32I,
-  kMov32I, kLsh32I, kRsh32I, kArsh32I, kNeg32,
-  // Byte swaps
-  kBe16, kBe32, kBe64, kLe16, kLe32, kLe64,
-  // Memory
-  kLd1, kLd2, kLd4, kLd8, kSt1R, kSt2R, kSt4R, kSt8R, kSt1I, kSt2I, kSt4I,
-  kSt8I,
-  // 64-bit immediate / map pointer
-  kLdImm64,
-  // Jumps (R = register comparand, I = materialised immediate)
-  kJa,
-  kJeqR, kJneR, kJgtR, kJgeR, kJltR, kJleR, kJsetR, kJsgtR, kJsgeR, kJsltR,
-  kJsleR,
-  kJeqI, kJneI, kJgtI, kJgeI, kJltI, kJleI, kJsetI, kJsgtI, kJsgeI, kJsltI,
-  kJsleI,
-  kJeq32R, kJne32R, kJgt32R, kJge32R, kJlt32R, kJle32R, kJset32R, kJsgt32R,
-  kJsge32R, kJslt32R, kJsle32R,
-  kJeq32I, kJne32I, kJgt32I, kJge32I, kJlt32I, kJle32I, kJset32I, kJsgt32I,
-  kJsge32I, kJslt32I, kJsle32I,
-  kCall, kExit,
-};
-
-std::uint16_t alu_kind(std::uint8_t op, bool is64, bool reg_src) {
-  struct Row { std::uint16_t r64, i64, r32, i32; };
-  auto row = [&]() -> Row {
-    switch (op) {
-      case BPF_ADD: return {kAdd64R, kAdd64I, kAdd32R, kAdd32I};
-      case BPF_SUB: return {kSub64R, kSub64I, kSub32R, kSub32I};
-      case BPF_MUL: return {kMul64R, kMul64I, kMul32R, kMul32I};
-      case BPF_DIV: return {kDiv64R, kDiv64I, kDiv32R, kDiv32I};
-      case BPF_MOD: return {kMod64R, kMod64I, kMod32R, kMod32I};
-      case BPF_OR: return {kOr64R, kOr64I, kOr32R, kOr32I};
-      case BPF_AND: return {kAnd64R, kAnd64I, kAnd32R, kAnd32I};
-      case BPF_XOR: return {kXor64R, kXor64I, kXor32R, kXor32I};
-      case BPF_MOV: return {kMov64R, kMov64I, kMov32R, kMov32I};
-      case BPF_LSH: return {kLsh64R, kLsh64I, kLsh32R, kLsh32I};
-      case BPF_RSH: return {kRsh64R, kRsh64I, kRsh32R, kRsh32I};
-      case BPF_ARSH: return {kArsh64R, kArsh64I, kArsh32R, kArsh32I};
-    }
-    throw std::logic_error("jit: bad ALU op");
-  }();
-  if (is64) return reg_src ? row.r64 : row.i64;
-  return reg_src ? row.r32 : row.i32;
-}
-
-std::uint16_t jmp_kind(std::uint8_t op, bool is32, bool reg_src) {
-  struct Row { std::uint16_t r, i, r32, i32; };
-  auto row = [&]() -> Row {
-    switch (op) {
-      case BPF_JEQ: return {kJeqR, kJeqI, kJeq32R, kJeq32I};
-      case BPF_JNE: return {kJneR, kJneI, kJne32R, kJne32I};
-      case BPF_JGT: return {kJgtR, kJgtI, kJgt32R, kJgt32I};
-      case BPF_JGE: return {kJgeR, kJgeI, kJge32R, kJge32I};
-      case BPF_JLT: return {kJltR, kJltI, kJlt32R, kJlt32I};
-      case BPF_JLE: return {kJleR, kJleI, kJle32R, kJle32I};
-      case BPF_JSET: return {kJsetR, kJsetI, kJset32R, kJset32I};
-      case BPF_JSGT: return {kJsgtR, kJsgtI, kJsgt32R, kJsgt32I};
-      case BPF_JSGE: return {kJsgeR, kJsgeI, kJsge32R, kJsge32I};
-      case BPF_JSLT: return {kJsltR, kJsltI, kJslt32R, kJslt32I};
-      case BPF_JSLE: return {kJsleR, kJsleI, kJsle32R, kJsle32I};
-    }
-    throw std::logic_error("jit: bad JMP op");
-  }();
-  if (is32) return reg_src ? row.r32 : row.i32;
-  return reg_src ? row.r : row.i;
-}
-
-}  // namespace
 
 std::shared_ptr<const CompiledProgram> Jit::compile(
     const Program& prog) const {
   if (!prog.verified())
     throw std::logic_error("jit: refusing to compile unverified program '" +
                            prog.name() + "'");
-  const std::vector<Insn>& insns = prog.insns();
-  auto out = std::make_shared<CompiledProgram>();
-
-  // First pass: map insn index -> op index (ld_imm64 collapses 2 -> 1).
-  std::vector<std::int32_t> op_index(insns.size() + 1, -1);
-  {
-    std::int32_t next = 0;
-    for (std::size_t i = 0; i < insns.size(); ++i) {
-      op_index[i] = next++;
-      if (insns[i].is_ld_imm64()) {
-        op_index[i + 1] = next;  // alias the aux slot (never targeted anyway)
-        ++i;
-      }
-    }
-    op_index[insns.size()] = next;
-  }
-
-  for (std::size_t i = 0; i < insns.size(); ++i) {
-    const Insn& insn = insns[i];
-    CompiledProgram::Op op;
-    op.dst = insn.dst;
-    op.src = insn.src;
-    op.off = insn.off;
-    op.imm = insn.imm;
-
-    const std::uint8_t cls = insn.insn_class();
-    switch (cls) {
-      case BPF_ALU64:
-      case BPF_ALU: {
-        const std::uint8_t aop = insn.alu_op();
-        if (aop == BPF_NEG) {
-          op.kind = cls == BPF_ALU64 ? kNeg64 : kNeg32;
-        } else if (aop == BPF_END) {
-          const bool be = insn.uses_reg_src();
-          op.kind = insn.imm == 16   ? (be ? kBe16 : kLe16)
-                    : insn.imm == 32 ? (be ? kBe32 : kLe32)
-                                     : (be ? kBe64 : kLe64);
-        } else {
-          op.kind = alu_kind(aop, cls == BPF_ALU64, insn.uses_reg_src());
-          if (!insn.uses_reg_src())
-            op.imm64 = cls == BPF_ALU64
-                           ? static_cast<std::uint64_t>(
-                                 static_cast<std::int64_t>(insn.imm))
-                           : static_cast<std::uint32_t>(insn.imm);
-        }
-        break;
-      }
-      case BPF_LD: {
-        op.kind = kLdImm64;
-        if (insn.src == BPF_PSEUDO_MAP_FD) {
-          op.imm64 = static_cast<std::uint32_t>(insn.imm);
-        } else {
-          op.imm64 = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                          insns[i + 1].imm))
-                      << 32) |
-                     static_cast<std::uint32_t>(insn.imm);
-        }
-        ++i;  // skip aux slot
-        break;
-      }
-      case BPF_LDX: {
-        switch (access_size(insn.size_field())) {
-          case 1: op.kind = kLd1; break;
-          case 2: op.kind = kLd2; break;
-          case 4: op.kind = kLd4; break;
-          case 8: op.kind = kLd8; break;
-        }
-        break;
-      }
-      case BPF_STX:
-      case BPF_ST: {
-        const bool reg = cls == BPF_STX;
-        switch (access_size(insn.size_field())) {
-          case 1: op.kind = reg ? kSt1R : kSt1I; break;
-          case 2: op.kind = reg ? kSt2R : kSt2I; break;
-          case 4: op.kind = reg ? kSt4R : kSt4I; break;
-          case 8: op.kind = reg ? kSt8R : kSt8I; break;
-        }
-        break;
-      }
-      case BPF_JMP:
-      case BPF_JMP32: {
-        if (insn.is_exit()) {
-          op.kind = kExit;
-        } else if (insn.is_call()) {
-          op.kind = kCall;
-          if (helpers_ == nullptr || (op.fn = helpers_->fn(insn.imm)) == nullptr)
-            throw std::logic_error("jit: unresolved helper " +
-                                   std::to_string(insn.imm));
-        } else {
-          op.target = op_index[i + 1 + insn.off];
-          if (insn.is_unconditional_jump()) {
-            op.kind = kJa;
-          } else {
-            op.kind = jmp_kind(insn.alu_op(), cls == BPF_JMP32,
-                               insn.uses_reg_src());
-            if (!insn.uses_reg_src())
-              op.imm64 = static_cast<std::uint64_t>(
-                  static_cast<std::int64_t>(insn.imm));
-          }
-        }
-        break;
-      }
-      default:
-        throw std::logic_error("jit: bad instruction class");
-    }
-    out->ops_.push_back(op);
-  }
-  return out;
+  return std::make_shared<CompiledProgram>(decode_program(prog, helpers_));
 }
 
 ExecResult CompiledProgram::run(ExecEnv& env, std::uint64_t ctx) const {
   std::array<std::uint64_t, kNumRegs> regs{};
-  alignas(16) std::array<std::uint8_t, kStackSize> stack{};
+  // Not zero-filled: only verified programs compile, and the verifier proves
+  // stack slots are written before read (kernel JIT frames are not cleared).
+  alignas(16) std::array<std::uint8_t, kStackSize> stack;
   regs[R1] = ctx;
   regs[R10] = reinterpret_cast<std::uint64_t>(stack.data()) + kStackSize;
 
@@ -231,8 +40,8 @@ ExecResult CompiledProgram::run(ExecEnv& env, std::uint64_t ctx) const {
                            kStackSize, true});
 
   ExecResult res;
-  const Op* base = ops_.data();
-  const Op* op = base;
+  const DecodedInsn* base = decoded_->data();
+  const DecodedInsn* op = base;
 
   // Verified code: memory accesses run unchecked, like native JIT output.
   for (;;) {

@@ -472,6 +472,10 @@ std::optional<VerifierError> Checker::do_alu(State& s, const Insn& insn) {
   }
 
   if (op == BPF_NEG) {
+    // Linux rejects BPF_NEG with the source bit set (BPF_X): negation has
+    // no register operand. Both engines enforce this at runtime too.
+    if (insn.uses_reg_src())
+      return err(pc, "BPF_NEG with register source");
     if (auto e = check_reg_init(s, dst, pc)) return e;
     if (d.is_pointer()) return err(pc, "arithmetic negation on pointer");
     d = d.is_const() ? Reg::scalar_const(is64 ? (~d.umin + 1)

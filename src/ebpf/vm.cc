@@ -14,6 +14,8 @@ BpfSystem::LoadResult BpfSystem::load(std::string name, ProgType type,
   if (!result.verify.ok) return result;
 
   prog.set_verified();
+  // Decode once (jump targets, fused ld_imm64, resolved helpers); the
+  // compiled form carries the shared decoded program for both engines.
   Jit jit(&helpers_);
   auto compiled = jit.compile(prog);
   result.prog =
@@ -21,25 +23,39 @@ BpfSystem::LoadResult BpfSystem::load(std::string name, ProgType type,
   return result;
 }
 
+void BpfSystem::bind_env(ExecEnv& env) const {
+  if (env.maps == nullptr) env.maps = const_cast<MapRegistry*>(&maps_);
+  if (env.helpers == nullptr)
+    env.helpers = const_cast<HelperRegistry*>(&helpers_);
+}
+
 ExecResult BpfSystem::run(const LoadedProgram& prog, ExecEnv& env,
                           std::uint64_t ctx) const {
-  return jit_enabled_ ? run_jit(prog, env, ctx)
-                      : run_interpreted(prog, env, ctx);
+  switch (engine_) {
+    case EngineKind::kJit: return run_jit(prog, env, ctx);
+    case EngineKind::kInterp: return run_interpreted(prog, env, ctx);
+    case EngineKind::kInterpBaseline:
+      return run_interp_baseline(prog, env, ctx);
+  }
+  return run_jit(prog, env, ctx);
 }
 
 ExecResult BpfSystem::run_interpreted(const LoadedProgram& prog, ExecEnv& env,
                                       std::uint64_t ctx) const {
-  if (env.maps == nullptr) env.maps = const_cast<MapRegistry*>(&maps_);
-  if (env.helpers == nullptr)
-    env.helpers = const_cast<HelperRegistry*>(&helpers_);
+  bind_env(env);
+  return interp_.run(prog.compiled().decoded(), env, ctx);
+}
+
+ExecResult BpfSystem::run_interp_baseline(const LoadedProgram& prog,
+                                          ExecEnv& env,
+                                          std::uint64_t ctx) const {
+  bind_env(env);
   return interp_.run(prog.program(), env, ctx);
 }
 
 ExecResult BpfSystem::run_jit(const LoadedProgram& prog, ExecEnv& env,
                               std::uint64_t ctx) const {
-  if (env.maps == nullptr) env.maps = const_cast<MapRegistry*>(&maps_);
-  if (env.helpers == nullptr)
-    env.helpers = const_cast<HelperRegistry*>(&helpers_);
+  bind_env(env);
   return prog.compiled().run(env, ctx);
 }
 

@@ -41,6 +41,13 @@ class LoadedProgram {
 
 using ProgHandle = std::shared_ptr<LoadedProgram>;
 
+// Which execution engine BpfSystem::run uses.
+//   kJit           — unchecked decoded form (bpf_jit_enable = 1);
+//   kInterp        — pre-decoded checked interpreter (bpf_jit_enable = 0);
+//   kInterpBaseline — legacy decode-every-step interpreter, kept as the
+//                     reference point the §3.2 benches compare against.
+enum class EngineKind { kJit, kInterp, kInterpBaseline };
+
 class BpfSystem {
  public:
   BpfSystem() { register_generic_helpers(helpers_); }
@@ -50,8 +57,15 @@ class BpfSystem {
   HelperRegistry& helpers() noexcept { return helpers_; }
 
   // bpf_jit_enable. Default on, as in the paper's main experiments.
-  void set_jit_enabled(bool on) noexcept { jit_enabled_ = on; }
-  bool jit_enabled() const noexcept { return jit_enabled_; }
+  void set_jit_enabled(bool on) noexcept {
+    engine_ = on ? EngineKind::kJit : EngineKind::kInterp;
+  }
+  bool jit_enabled() const noexcept { return engine_ == EngineKind::kJit; }
+
+  // Finer-grained engine choice (benchmarks use the baseline interpreter to
+  // quantify what decode-once dispatch buys).
+  void set_engine(EngineKind e) noexcept { engine_ = e; }
+  EngineKind engine() const noexcept { return engine_; }
 
   struct LoadResult {
     ProgHandle prog;  // null on verification failure
@@ -64,22 +78,28 @@ class BpfSystem {
   LoadResult load(std::string name, ProgType type, std::vector<Insn> insns,
                   std::size_t sloc_hint = 0);
 
-  // Runs a loaded program with the node's registries wired into `env`.
-  // Uses the JIT engine when enabled, the interpreter otherwise.
+  // Runs a loaded program with the node's registries wired into `env`,
+  // on the engine selected via set_engine / set_jit_enabled.
   ExecResult run(const LoadedProgram& prog, ExecEnv& env,
                  std::uint64_t ctx) const;
 
   // Run with an explicit engine choice (benchmarks use this to compare).
+  // run_interpreted is the pre-decoded threaded-dispatch path;
+  // run_interp_baseline is the legacy decode-every-step path.
   ExecResult run_interpreted(const LoadedProgram& prog, ExecEnv& env,
                              std::uint64_t ctx) const;
+  ExecResult run_interp_baseline(const LoadedProgram& prog, ExecEnv& env,
+                                 std::uint64_t ctx) const;
   ExecResult run_jit(const LoadedProgram& prog, ExecEnv& env,
                      std::uint64_t ctx) const;
 
  private:
+  void bind_env(ExecEnv& env) const;
+
   MapRegistry maps_;
   HelperRegistry helpers_;
   Interpreter interp_;
-  bool jit_enabled_ = true;
+  EngineKind engine_ = EngineKind::kJit;
 };
 
 }  // namespace srv6bpf::ebpf

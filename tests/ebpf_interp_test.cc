@@ -15,22 +15,19 @@
 namespace srv6bpf::ebpf {
 namespace {
 
-enum class Engine { kInterp, kJit };
-
-class EngineTest : public ::testing::TestWithParam<Engine> {
+class EngineTest : public ::testing::TestWithParam<EngineKind> {
  protected:
-  // Runs an unverified program on the interpreter or (force-verifying) the
-  // JIT engine; for JIT the program must be well-formed enough to verify —
-  // all programs in this file are.
+  // Runs a program through the selected engine: the pre-decoded threaded
+  // interpreter, the legacy decode-every-step interpreter, or the unchecked
+  // JIT engine. All programs in this file are verifiable.
   ExecResult run(const std::vector<Insn>& insns, std::uint64_t ctx = 0) {
     BpfSystem sys;
     auto load = sys.load("t", ProgType::kLwtSeg6Local, insns);
     EXPECT_TRUE(load.ok()) << load.verify.error;
     if (!load.ok()) return {};
     ExecEnv env;
-    return GetParam() == Engine::kInterp
-               ? sys.run_interpreted(*load.prog, env, ctx)
-               : sys.run_jit(*load.prog, env, ctx);
+    sys.set_engine(GetParam());
+    return sys.run(*load.prog, env, ctx);
   }
 
   std::uint64_t eval(const std::vector<Insn>& insns) {
@@ -41,10 +38,16 @@ class EngineTest : public ::testing::TestWithParam<Engine> {
 };
 
 INSTANTIATE_TEST_SUITE_P(Engines, EngineTest,
-                         ::testing::Values(Engine::kInterp, Engine::kJit),
+                         ::testing::Values(EngineKind::kInterp,
+                                           EngineKind::kInterpBaseline,
+                                           EngineKind::kJit),
                          [](const auto& info) {
-                           return info.param == Engine::kInterp ? "Interp"
-                                                                : "Jit";
+                           switch (info.param) {
+                             case EngineKind::kInterp: return "Interp";
+                             case EngineKind::kInterpBaseline:
+                               return "InterpBaseline";
+                             default: return "Jit";
+                           }
                          });
 
 // ---- ALU64 -------------------------------------------------------------------
@@ -264,9 +267,8 @@ TEST_P(EngineTest, KtimeHelperFlowsThrough) {
   ASSERT_TRUE(load.ok()) << load.verify.error;
   ExecEnv env;
   env.now_ns = [] { return 12345u; };
-  const ExecResult r = GetParam() == Engine::kInterp
-                           ? sys.run_interpreted(*load.prog, env, 0)
-                           : sys.run_jit(*load.prog, env, 0);
+  sys.set_engine(GetParam());
+  const ExecResult r = sys.run(*load.prog, env, 0);
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.ret, 12345u);
   EXPECT_EQ(r.helper_calls, 1u);
@@ -325,6 +327,78 @@ TEST(InterpreterGuards, UnknownHelperAborts) {
   env.helpers = &helpers;
   const ExecResult r = interp.run(prog, env, 0);
   EXPECT_TRUE(r.aborted);
+}
+
+TEST(InterpreterGuards, StepBudgetIsExact) {
+  // Unverifiable infinite loop (backward JA): the baseline engine must stop
+  // at exactly kMaxInterpSteps executed instructions, not one or two past it
+  // (regression test for the `executed++ > max` off-by-one).
+  std::vector<Insn> prog_insns = {
+      {BPF_ALU64 | BPF_MOV | BPF_K, 0, 0, 0, 0},  // r0 = 0
+      {BPF_JMP | BPF_JA, 0, 0, -1, 0},            // loop: goto loop
+  };
+  Program prog("spin", ProgType::kLwtSeg6Local, std::move(prog_insns));
+  Interpreter interp;
+  ExecEnv env;
+  const ExecResult r = interp.run(prog, env, 0);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+  EXPECT_EQ(r.insns_executed, kMaxInterpSteps);
+}
+
+TEST(InterpreterGuards, RegSrcNegAborts) {
+  // BPF_NEG with the BPF_X source bit set is an invalid encoding (Linux
+  // rejects it); both interpreters must refuse it at runtime too.
+  for (const std::uint8_t cls : {BPF_ALU64, BPF_ALU}) {
+    std::vector<Insn> insns = {
+        {static_cast<std::uint8_t>(BPF_ALU64 | BPF_MOV | BPF_K), 0, 0, 0, 5},
+        {static_cast<std::uint8_t>(cls | BPF_NEG | BPF_X), 0, 1, 0, 0},
+        {BPF_JMP | BPF_EXIT, 0, 0, 0, 0},
+    };
+    Program prog("regneg", ProgType::kLwtSeg6Local, std::move(insns));
+    Interpreter interp;
+    ExecEnv env;
+    const ExecResult r = interp.run(prog, env, 0);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_NE(r.error.find("BPF_NEG"), std::string::npos);
+  }
+}
+
+// ---- Decoded-program structural validation ------------------------------------
+
+TEST(Decode, RejectsRegSrcNeg) {
+  std::vector<Insn> insns = {
+      {static_cast<std::uint8_t>(BPF_ALU64 | BPF_MOV | BPF_K), 0, 0, 0, 5},
+      {static_cast<std::uint8_t>(BPF_ALU64 | BPF_NEG | BPF_X), 0, 1, 0, 0},
+      {BPF_JMP | BPF_EXIT, 0, 0, 0, 0},
+  };
+  HelperRegistry helpers;
+  EXPECT_THROW(decode_program(insns, &helpers), std::logic_error);
+}
+
+TEST(Decode, RejectsFallOffTheEnd) {
+  std::vector<Insn> insns = {
+      {static_cast<std::uint8_t>(BPF_ALU64 | BPF_MOV | BPF_K), 0, 0, 0, 5},
+  };
+  HelperRegistry helpers;
+  EXPECT_THROW(decode_program(insns, &helpers), std::logic_error);
+}
+
+TEST(Decode, FusesLdImm64AndRewritesJumpTargets) {
+  Asm a;
+  a.ld_imm64(R0, 0x1122334455667788ull)
+      .jeq_imm(R1, 0, "done")
+      .mov64_imm(R0, 1)
+      .label("done")
+      .exit_();
+  const auto prog = decode_program(a.build(), nullptr);
+  // 5 slots collapse to 4 ops; the jump target is an absolute op index past
+  // the fused ld_imm64.
+  ASSERT_EQ(prog->size(), 4u);
+  EXPECT_EQ(prog->ops()[0].kind, kLdImm64);
+  EXPECT_EQ(prog->ops()[0].imm64, 0x1122334455667788ull);
+  EXPECT_EQ(prog->ops()[1].kind, kJeqI);
+  EXPECT_EQ(prog->ops()[1].target, 3);
 }
 
 }  // namespace

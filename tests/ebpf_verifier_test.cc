@@ -61,6 +61,23 @@ TEST_F(VerifierTest, MinimalProgramAccepted) {
   expect_ok(a);
 }
 
+TEST_F(VerifierTest, RegSrcNegRejected) {
+  // BPF_NEG has no register operand; Linux rejects the BPF_X encoding.
+  for (const std::uint8_t cls : {BPF_ALU64, BPF_ALU}) {
+    Asm a;
+    a.mov64_imm(R0, 5)
+        .raw({static_cast<std::uint8_t>(cls | BPF_NEG | BPF_X), 0, 1, 0, 0})
+        .exit_();
+    expect_reject(a, "BPF_NEG");
+  }
+}
+
+TEST_F(VerifierTest, ImmNegStillAccepted) {
+  Asm a;
+  a.mov64_imm(R0, 5).neg64(R0).exit_();
+  expect_ok(a);
+}
+
 TEST_F(VerifierTest, BackEdgeRejected) {
   Asm a;
   a.mov64_imm(R0, 0).label("loop").add64_imm(R0, 1).ja("loop");
