@@ -34,6 +34,12 @@ struct Setup1 {
   std::unique_ptr<apps::TrafGen> gen;
   int r_upstream_if = 0;
   int r_downstream_if = 0;
+  // Vector-pipeline knobs: R's per-service-event drain budget and the
+  // generator's packets-per-tick. Simulated rates are burst-invariant (the
+  // differential test enforces it); these only trade simulator wall-clock,
+  // which bench_burst_sweep measures.
+  std::size_t rx_burst = sim::kDefaultRxBurst;
+  std::size_t gen_burst = 1;
 
   Setup1() {
     s1 = &net.add_node("S1");
@@ -64,6 +70,7 @@ struct Setup1 {
   // Offers `pps` of 64-byte-payload UDP (with or without an SRH through the
   // SID on R) for `duration`, then reports the sink's receive rate in kpps.
   double measure(bool through_sid, double pps, sim::TimeNs duration) {
+    r->cpu.rx_burst = rx_burst;
     apps::TrafGen::Config cfg;
     cfg.spec.src = s1_addr;
     cfg.spec.dst = s2_addr;
@@ -71,6 +78,7 @@ struct Setup1 {
     cfg.spec.payload_size = 64;
     cfg.spec.dst_port = 7001;
     cfg.pps = pps;
+    cfg.burst = gen_burst;
     cfg.start_at = net.now();
     cfg.duration = duration + 50 * sim::kMilli;
     gen = std::make_unique<apps::TrafGen>(*s1, cfg);

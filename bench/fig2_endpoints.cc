@@ -54,6 +54,9 @@ int main() {
       "baseline 610 kpps; End-BPF ~ -3% vs End; End.T-BPF ~ -5% vs End.T; "
       "Tag++ ~ -3% and Add-TLV ~ -5% vs End-BPF; no-JIT divides Add-TLV by "
       "~1.8");
+  std::printf("(vector datapath: R drains bursts of %zu per service event; "
+              "rates are burst-invariant, see bench_burst_sweep)\n",
+              sim::kDefaultRxBurst);
 
   std::vector<Row> rows;
 

@@ -21,6 +21,8 @@ int main() {
   print_header("Figure 4: aggregated UDP goodput through the Turris Omnia",
                "CPU-bound rising curves; decap ~10% below plain forwarding; "
                "eBPF WRR (interpreter) lowest, converging at 1400 B");
+  std::printf("(vector datapath: the CPE drains bursts of %zu per service "
+              "event; goodput is burst-invariant)\n", sim::kDefaultRxBurst);
 
   const std::size_t payloads[] = {200, 400, 600, 800, 1000, 1200, 1400};
   const sim::TimeNs duration = 200 * sim::kMilli;

@@ -1,14 +1,17 @@
 // Quickstart: build a 3-node network (S1 - R - S2), attach an End.BPF
-// program to a local SID on R, and watch a packet traverse it.
+// program to a local SID on R, and watch a burst of packets traverse it.
 //
 // The program is the paper's Tag++: it fetches the SRH tag and increments it
 // through bpf_lwt_seg6_store_bytes — the eBPF code never writes the packet
-// directly (§3's safety principle).
+// directly (§3's safety principle). The packets travel as one
+// net::PacketBurst through the vector datapath: one send, one SID-table
+// lookup and one BPF program setup for the whole burst.
 //
 //   $ ./quickstart
 #include <cstdio>
 
 #include "apps/sink.h"
+#include "net/burst.h"
 #include "net/packet.h"
 #include "seg6/seg6local.h"
 #include "sim/network.h"
@@ -70,21 +73,27 @@ int main() {
                 srh ? srh->tag() : 0);
   });
 
-  // Send an SRv6 packet through the SID: segments [R's SID, S2].
-  net::PacketSpec spec;
-  spec.src = a1;
-  spec.segments = {sid, a2};
-  spec.srh_tag = 41;
-  spec.payload_size = 64;
-  std::printf("sending UDP with SRH segments [%s, %s], tag = 41\n",
-              sid.to_string().c_str(), a2.to_string().c_str());
-  s1.send(net::make_udp_packet(spec));
+  // Send a burst of SRv6 packets through the SID: segments [R's SID, S2].
+  net::PacketBurst burst;
+  for (std::uint16_t tag = 41; tag <= 43; ++tag) {
+    net::PacketSpec spec;
+    spec.src = a1;
+    spec.segments = {sid, a2};
+    spec.srh_tag = tag;
+    spec.payload_size = 64;
+    burst.push(net::make_udp_packet(spec));
+  }
+  std::printf("sending a %zu-packet burst with SRH segments [%s, %s], "
+              "tags 41..43\n",
+              burst.size(), sid.to_string().c_str(), a2.to_string().c_str());
+  s1.send_burst(std::move(burst));
 
   net.run_for(10 * sim::kMilli);
 
-  std::printf("R forwarded %llu packet(s); eBPF ran %d time(s), "
-              "%llu insns on the JIT engine\n",
+  std::printf("R forwarded %llu packet(s) (%llu eBPF runs in total); "
+              "last packet: %d eBPF run(s), %llu insns on the JIT engine\n",
               static_cast<unsigned long long>(r.stats.tx_packets),
+              static_cast<unsigned long long>(r.stats.pipeline.bpf_runs),
               r.last_trace().bpf_runs,
               static_cast<unsigned long long>(r.last_trace().bpf_insns_jit));
   return 0;

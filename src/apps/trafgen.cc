@@ -1,5 +1,7 @@
 #include "apps/trafgen.h"
 
+#include <algorithm>
+
 #include "util/byteorder.h"
 
 namespace srv6bpf::apps {
@@ -16,10 +18,7 @@ void TrafGen::start() {
   node_.loop().schedule_at(cfg_.start_at, [this] { tick(); });
 }
 
-void TrafGen::tick() {
-  const sim::TimeNs now = node_.loop().now();
-  if (now >= stop_at_) return;
-
+net::Packet TrafGen::next_packet() {
   net::Packet pkt = t_template_;  // copy the prebuilt frame
   pkt.seq = static_cast<std::uint32_t>(sent_);
   if (cfg_.src_port_spread > 1) {
@@ -31,10 +30,29 @@ void TrafGen::tick() {
       store_be16(pkt.data() + loc->offset, port);
     }
   }
-  node_.send(std::move(pkt));
   ++sent_;
+  return pkt;
+}
 
-  next_send_ += interval_ns_;
+void TrafGen::tick() {
+  const sim::TimeNs now = node_.loop().now();
+  if (now >= stop_at_) return;
+
+  const std::size_t burst =
+      std::min(cfg_.burst > 0 ? cfg_.burst : 1, net::kMaxBurstPackets);
+  if (burst == 1) {
+    node_.send(next_packet());
+    next_send_ += interval_ns_;
+  } else {
+    // Emit a whole burst at this tick and stretch the tick interval so the
+    // average offered rate stays cfg_.pps.
+    net::PacketBurst b;
+    for (std::size_t k = 0; k < burst && next_send_ < stop_at_; ++k) {
+      b.push(next_packet());
+      next_send_ += interval_ns_;
+    }
+    node_.send_burst(std::move(b));
+  }
   node_.loop().schedule_at(next_send_, [this] { tick(); });
 }
 

@@ -59,4 +59,34 @@ ExecResult BpfSystem::run_jit(const LoadedProgram& prog, ExecEnv& env,
   return prog.compiled().run(env, ctx);
 }
 
+void LoadedProgram::run_burst(
+    const BpfSystem& sys, ExecEnv& env, std::span<BurstInvocation> batch,
+    const std::function<void(std::size_t)>& prep) const {
+  if (batch.empty()) return;
+  // Engine choice and env binding are loop-invariant: pay them once per
+  // burst instead of once per packet.
+  sys.bind_env(env);
+  switch (sys.engine()) {
+    case EngineKind::kJit:
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (prep) prep(i);
+        batch[i].result = compiled().run(env, batch[i].ctx);
+      }
+      return;
+    case EngineKind::kInterp:
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (prep) prep(i);
+        batch[i].result = sys.interp_.run(compiled().decoded(), env,
+                                          batch[i].ctx);
+      }
+      return;
+    case EngineKind::kInterpBaseline:
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (prep) prep(i);
+        batch[i].result = sys.interp_.run(program(), env, batch[i].ctx);
+      }
+      return;
+  }
+}
+
 }  // namespace srv6bpf::ebpf

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,15 @@
 
 namespace srv6bpf::ebpf {
 
+class BpfSystem;
+
+// One program invocation inside a burst run: the ctx argument handed to the
+// program and the slot its result lands in.
+struct BurstInvocation {
+  std::uint64_t ctx = 0;
+  ExecResult result;
+};
+
 // A verified, loaded program plus its compiled form.
 class LoadedProgram {
  public:
@@ -33,6 +44,15 @@ class LoadedProgram {
   const std::string& name() const noexcept { return prog_.name(); }
   ProgType type() const noexcept { return prog_.type(); }
   const CompiledProgram& compiled() const noexcept { return *compiled_; }
+
+  // Runs this program over a vector of invocations on `sys`'s selected
+  // engine, resolving engine dispatch and env binding once for the whole
+  // burst. `env` is shared across the burst; `prep(i)`, when provided, is
+  // called immediately before slot i to retarget env/ctx at packet i (and is
+  // where callers harvest per-packet state left behind by slot i-1).
+  void run_burst(const BpfSystem& sys, ExecEnv& env,
+                 std::span<BurstInvocation> batch,
+                 const std::function<void(std::size_t)>& prep = {}) const;
 
  private:
   Program prog_;
@@ -94,6 +114,8 @@ class BpfSystem {
                      std::uint64_t ctx) const;
 
  private:
+  friend class LoadedProgram;  // run_burst resolves the engine once
+
   void bind_env(ExecEnv& env) const;
 
   MapRegistry maps_;

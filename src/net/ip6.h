@@ -55,6 +55,21 @@ class Ipv6Addr {
   std::array<std::uint8_t, 16> bytes_{};
 };
 
+// Hash functor for Ipv6Addr, suitable for the unordered containers on the
+// forwarding hot path (seg6local SID table, caches). Mixes the two 64-bit
+// halves with a splitmix64-style finalizer.
+struct Ipv6AddrHash {
+  std::size_t operator()(const Ipv6Addr& a) const noexcept {
+    std::uint64_t lo, hi;
+    __builtin_memcpy(&lo, a.bytes().data(), 8);
+    __builtin_memcpy(&hi, a.bytes().data() + 8, 8);
+    std::uint64_t z = lo ^ (hi * 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
 // A routing prefix: address + length.
 struct Prefix {
   Ipv6Addr addr;

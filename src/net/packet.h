@@ -28,7 +28,10 @@ struct DstEntry {
 
 class Packet {
  public:
-  Packet() : Packet(std::span<const std::uint8_t>{}) {}
+  // A default packet is empty with no reserved headroom (push_front grows it
+  // on demand), so arrays of packets — PacketBurst slots — cost nothing to
+  // construct.
+  Packet() = default;
   explicit Packet(std::span<const std::uint8_t> contents,
                   std::size_t headroom = kDefaultHeadroom);
 

@@ -1,5 +1,9 @@
 #include "seg6/ctx.h"
 
+#include <algorithm>
+#include <array>
+
+#include "net/burst.h"
 #include "seg6/helpers.h"
 #include "seg6/seg6local.h"
 
@@ -42,43 +46,86 @@ void Netns::seed_prandom(std::uint64_t seed) { prandom_state_ = seed; }
 
 Netns::BpfRunResult Netns::run_prog(const ebpf::LoadedProgram& prog,
                                     net::Packet& pkt, ProcessTrace* trace) {
+  Seg6BurstRunner runner(*this, prog);
+  runner.prepare(pkt, trace);
+
   BpfRunResult out;
-  Seg6ProgCtx& ctx = out.ctx;
-  ctx.netns = this;
-  ctx.pkt = &pkt;
-  ctx.prog_type = prog.type();
-  ctx.trace = trace;
-  ctx.now_ns = now();
-
-  ctx.skb.protocol = ebpf::kEthPIpv6Be;
-  ctx.skb.mark = pkt.mark;
-  ctx.skb.ingress_ifindex = pkt.ingress_ifindex;
-  ctx.skb.tstamp_ns = pkt.rx_tstamp_ns;
-
-  ebpf::ExecEnv env;
-  env.user = &ctx;
-  env.now_ns = [this] { return now(); };
-  env.prandom = [this] { return prandom(); };
-  // Region 0: the ctx struct (read/write; the verifier confines writes to
-  // `mark`). Region 1: packet bytes, read-only from program code.
-  env.regions.push_back(ebpf::MemRegion{
-      reinterpret_cast<std::uintptr_t>(&ctx.skb), sizeof ctx.skb, true});
-  env.regions.push_back(ebpf::MemRegion{0, 0, false});
-  ctx.env = &env;
-  ctx.refresh_packet_view();
-
-  out.exec = bpf_.run(prog, env, reinterpret_cast<std::uint64_t>(&ctx.skb));
-
-  pkt.mark = ctx.skb.mark;  // writable ctx field propagates back
-  if (trace != nullptr) {
-    ++trace->bpf_runs;
-    trace->helper_calls += out.exec.helper_calls;
-    if (bpf_.jit_enabled())
-      trace->bpf_insns_jit += out.exec.insns_executed;
-    else
-      trace->bpf_insns_interp += out.exec.insns_executed;
-  }
+  out.exec = bpf_.run(prog, runner.env(), runner.ctx_addr());
+  runner.harvest();
+  runner.account(trace, out.exec);
+  out.ctx = runner.ctx();  // callers read the per-packet flags
   return out;
+}
+
+Seg6BurstRunner::Seg6BurstRunner(Netns& ns, const ebpf::LoadedProgram& prog)
+    : ns_(ns) {
+  ctx_.netns = &ns;
+  ctx_.prog_type = prog.type();
+  ctx_.skb.protocol = ebpf::kEthPIpv6Be;
+  env_.user = &ctx_;
+  env_.now_ns = [&ns] { return ns.now(); };
+  env_.prandom = [&ns] { return ns.prandom(); };
+  // Region 0: the ctx struct (read/write; the verifier confines writes to
+  // `mark`). Region 1: packet bytes, retargeted per packet by prepare().
+  env_.regions.push_back(ebpf::MemRegion{
+      reinterpret_cast<std::uintptr_t>(&ctx_.skb), sizeof ctx_.skb, true});
+  env_.regions.push_back(ebpf::MemRegion{0, 0, false});
+  ctx_.env = &env_;
+}
+
+void Seg6BurstRunner::prepare(net::Packet& pkt, ProcessTrace* trace) {
+  ctx_.pkt = &pkt;
+  ctx_.trace = trace;
+  ctx_.now_ns = ns_.now();
+  ctx_.srh_dirty = false;
+  ctx_.packet_replaced = false;
+  ctx_.dst_set = false;
+  ctx_.skb.mark = pkt.mark;
+  ctx_.skb.ingress_ifindex = pkt.ingress_ifindex;
+  ctx_.skb.tstamp_ns = pkt.rx_tstamp_ns;
+  ctx_.refresh_packet_view();
+}
+
+Seg6BurstRunner::Verdict Seg6BurstRunner::harvest() {
+  ctx_.pkt->mark = ctx_.skb.mark;  // writable ctx field propagates back
+  return Verdict{ctx_.srh_dirty, ctx_.packet_replaced, ctx_.dst_set};
+}
+
+void Seg6BurstRunner::account(ProcessTrace* trace,
+                              const ebpf::ExecResult& exec) const {
+  if (trace == nullptr) return;
+  ++trace->bpf_runs;
+  trace->helper_calls += exec.helper_calls;
+  if (ns_.bpf().jit_enabled())
+    trace->bpf_insns_jit += exec.insns_executed;
+  else
+    trace->bpf_insns_interp += exec.insns_executed;
+}
+
+void run_prog_over_burst(Netns& ns, const ebpf::LoadedProgram& prog,
+                         std::span<net::Packet* const> pkts,
+                         ProcessTrace* const* traces,
+                         const BurstPerPacketFn& per_packet) {
+  const std::size_t n = pkts.size();
+  std::size_t base = 0;
+  while (base < n) {
+    const std::size_t m = std::min(n - base, net::kMaxBurstPackets);
+    Seg6BurstRunner runner(ns, prog);
+    std::array<ebpf::BurstInvocation, net::kMaxBurstPackets> inv;
+    std::array<Seg6BurstRunner::Verdict, net::kMaxBurstPackets> flags;
+    for (std::size_t k = 0; k < m; ++k) inv[k].ctx = runner.ctx_addr();
+    prog.run_burst(ns.bpf(), runner.env(), {inv.data(), m},
+                   [&](std::size_t k) {
+                     if (k > 0) flags[k - 1] = runner.harvest();
+                     runner.prepare(*pkts[base + k], traces[base + k]);
+                   });
+    flags[m - 1] = runner.harvest();
+    for (std::size_t k = 0; k < m; ++k) {
+      runner.account(traces[base + k], inv[k].result);
+      per_packet(base + k, inv[k].result, flags[k]);
+    }
+    base += m;
+  }
 }
 
 }  // namespace srv6bpf::seg6

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 
 #include "ebpf/exec.h"
@@ -117,7 +118,8 @@ class Netns {
   };
   // Builds the SkbCtx + ExecEnv and executes `prog` against `pkt` on this
   // netns's engines (JIT or interpreter per the netns setting), updating
-  // `trace` with executed-instruction accounting.
+  // `trace` with executed-instruction accounting. Single-packet convenience
+  // wrapper over Seg6BurstRunner; burst callers use the runner directly.
   BpfRunResult run_prog(const ebpf::LoadedProgram& prog, net::Packet& pkt,
                         ProcessTrace* trace);
 
@@ -129,5 +131,60 @@ class Netns {
   std::set<net::Ipv6Addr> local_addrs_;
   std::uint64_t prandom_state_ = 0x853c49e6748fea9bull;
 };
+
+// Amortised SRv6 program executor: builds the SkbCtx + ExecEnv (clock and
+// prandom closures, memory-region list) once, then retargets them packet by
+// packet — so a burst of packets hitting the same program pays the
+// per-invocation setup once per group instead of once per packet.
+//
+// Protocol per packet: prepare() -> run the program (typically through
+// LoadedProgram::run_burst with prepare in the prep hook) -> harvest() ->
+// account(). harvest() must run before the next prepare(): it writes the
+// writable ctx fields (skb->mark) back to the current packet and returns the
+// per-packet helper flags.
+class Seg6BurstRunner {
+ public:
+  Seg6BurstRunner(Netns& ns, const ebpf::LoadedProgram& prog);
+  Seg6BurstRunner(const Seg6BurstRunner&) = delete;
+  Seg6BurstRunner& operator=(const Seg6BurstRunner&) = delete;
+
+  struct Verdict {
+    bool srh_dirty = false;
+    bool packet_replaced = false;
+    bool dst_set = false;
+  };
+
+  // Points the shared ctx/env at `pkt` and resets the per-packet flags.
+  void prepare(net::Packet& pkt, ProcessTrace* trace);
+  // Propagates writable ctx fields back into the prepared packet and reads
+  // out the per-packet flags.
+  Verdict harvest();
+  // Charges one program execution to `trace` (engine-aware insn counts).
+  void account(ProcessTrace* trace, const ebpf::ExecResult& exec) const;
+
+  ebpf::ExecEnv& env() noexcept { return env_; }
+  std::uint64_t ctx_addr() const noexcept {
+    return reinterpret_cast<std::uint64_t>(&ctx_.skb);
+  }
+  const Seg6ProgCtx& ctx() const noexcept { return ctx_; }
+
+ private:
+  Netns& ns_;
+  Seg6ProgCtx ctx_;
+  ebpf::ExecEnv env_;
+};
+
+// Shared vector-run scaffold for the burst entry points: executes `prog`
+// over every packet in `pkts` as chunked LoadedProgram::run_burst calls
+// sharing one Seg6BurstRunner per chunk, handling the harvest-before-next-
+// prepare protocol, then invokes `per_packet(k, exec, flags)` for each index
+// of `pkts` in order (after trace accounting). Callers keep any index
+// mapping of their own and interpret the outcome (End.BPF vs LWT epilogue).
+using BurstPerPacketFn = std::function<void(
+    std::size_t, const ebpf::ExecResult&, const Seg6BurstRunner::Verdict&)>;
+void run_prog_over_burst(Netns& ns, const ebpf::LoadedProgram& prog,
+                         std::span<net::Packet* const> pkts,
+                         ProcessTrace* const* traces,
+                         const BurstPerPacketFn& per_packet);
 
 }  // namespace srv6bpf::seg6

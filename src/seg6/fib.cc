@@ -35,24 +35,36 @@ void Fib::add_route(Route route) {
       key, {reinterpret_cast<const std::uint8_t*>(&index), 4}, ebpf::BPF_ANY);
   if (rc != ebpf::kOk) throw std::runtime_error("fib trie insert failed");
   routes_.push_back(std::move(route));
+  cache_valid_ = false;
 }
 
 void Fib::clear() {
   routes_.clear();
   ebpf::MapDef def = trie_->def();
   trie_ = ebpf::make_map(def);
+  cache_valid_ = false;
 }
 
 const Route* Fib::lookup(const net::Ipv6Addr& dst) const {
+  if (cache_valid_ && cached_dst_ == dst) {
+    ++cache_hits_;
+    return cached_route_;
+  }
   std::array<std::uint8_t, 20> key{};
   const std::uint32_t plen = 128;
   std::memcpy(key.data(), &plen, 4);
   std::memcpy(key.data() + 4, dst.bytes().data(), 16);
   const std::uint8_t* v = trie_->lookup(key);
-  if (v == nullptr) return nullptr;
-  std::uint32_t index;
-  std::memcpy(&index, v, 4);
-  return &routes_[index];
+  const Route* route = nullptr;
+  if (v != nullptr) {
+    std::uint32_t index;
+    std::memcpy(&index, v, 4);
+    route = &routes_[index];
+  }
+  cached_dst_ = dst;
+  cached_route_ = route;
+  cache_valid_ = true;
+  return route;
 }
 
 const Nexthop& Fib::select_nexthop(const Route& route,

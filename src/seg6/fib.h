@@ -59,8 +59,15 @@ class Fib {
   }
   void clear();
 
-  // Longest-prefix match; nullptr when no route covers `dst`.
+  // Longest-prefix match; nullptr when no route covers `dst`. Consults a
+  // one-entry dst cache first (a burst of packets to one destination walks
+  // the trie once); the cache is invalidated by any table mutation. A cheap
+  // stand-in until the stride-based LPM fast path lands (ROADMAP).
   const Route* lookup(const net::Ipv6Addr& dst) const;
+
+  // Observability for benches/tests: how often lookup() was answered by the
+  // one-entry cache.
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
 
   // ECMP selection: picks the nexthop for `flow_hash` using weighted
   // hash-threshold mapping. Requires a non-empty nexthop list.
@@ -74,6 +81,13 @@ class Fib {
   std::vector<Route> routes_;
   // prefixlen(u32) + 16 address bytes -> u32 route index.
   std::unique_ptr<ebpf::Map> trie_;
+  // One-entry route cache (negative results included). Mutable: lookup() is
+  // logically const. Invalidated by add_route()/clear(), which also keeps
+  // the cached Route* safe across routes_ reallocation.
+  mutable net::Ipv6Addr cached_dst_;
+  mutable const Route* cached_route_ = nullptr;
+  mutable bool cache_valid_ = false;
+  mutable std::uint64_t cache_hits_ = 0;
 };
 
 // 5-tuple flow hash over the *innermost* IPv6+transport headers of a packet

@@ -10,7 +10,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "ebpf/vm.h"
@@ -40,19 +41,26 @@ struct Seg6LocalEntry {
   ebpf::ProgHandle prog;                   // End.BPF
 };
 
+// SID -> behaviour table. Hash-based (the kernel uses a hashed route table
+// too): it sits on the per-burst classify stage, where an ordered map's
+// 128-bit comparisons per tree level were measurable. Entry references are
+// stable across insertions (unordered_map guarantee), which the burst
+// pipeline relies on.
 class Seg6LocalTable {
  public:
   void add(const net::Ipv6Addr& sid, Seg6LocalEntry entry) {
     entries_[sid] = std::move(entry);
   }
   const Seg6LocalEntry* lookup(const net::Ipv6Addr& sid) const {
+    if (entries_.empty()) return nullptr;
     auto it = entries_.find(sid);
     return it == entries_.end() ? nullptr : &it->second;
   }
   std::size_t size() const noexcept { return entries_.size(); }
 
  private:
-  std::map<net::Ipv6Addr, Seg6LocalEntry> entries_;
+  std::unordered_map<net::Ipv6Addr, Seg6LocalEntry, net::Ipv6AddrHash>
+      entries_;
 };
 
 // Executes the behaviour on a packet whose IPv6 destination matched `entry`'s
@@ -60,6 +68,17 @@ class Seg6LocalTable {
 PipelineResult seg6local_process(Netns& ns, net::Packet& pkt,
                                  const Seg6LocalEntry& entry,
                                  ProcessTrace* trace);
+
+// Burst entry point: executes the behaviour over every packet in `pkts` (all
+// of which matched `entry`'s SID), writing per-packet dispositions into
+// `results[i]` and charging `traces[i]`. Per-packet semantics are identical
+// to calling seg6local_process in order; what's amortised is the End.BPF
+// ExecEnv/ctx construction and engine dispatch, paid once per group through
+// Seg6BurstRunner + LoadedProgram::run_burst.
+void seg6local_process_burst(Netns& ns, std::span<net::Packet* const> pkts,
+                             const Seg6LocalEntry& entry,
+                             ProcessTrace* const* traces,
+                             PipelineResult* results);
 
 // ---- Behaviour primitives (shared with bpf_lwt_seg6_action) -----------------
 

@@ -25,6 +25,13 @@
 
 namespace srv6bpf::sim {
 
+// Default NAPI-style drain budget per CPU service event (Node::Cpu::rx_burst).
+// A simulator-efficiency knob: per-packet charged cost, delivery counts,
+// traces and final stats are identical for every burst size (the burst
+// differential test enforces this); downstream event timing may shift by up
+// to one burst's wire-serialization time (delivery coalescing).
+inline constexpr std::size_t kDefaultRxBurst = 32;
+
 struct CpuProfile {
   // Base cost of receiving + routing + transmitting one packet.
   std::uint64_t forward_ns;

@@ -1,6 +1,9 @@
 // Historical name kept for discoverability: the CPU service model lives in
-// Node::Cpu (sim/node.h) and the cost constants in sim/costmodel.h.
+// Node::Cpu (sim/node.h) — including the per-service-event burst budget
+// (Cpu::rx_burst, default sim::kDefaultRxBurst) — and the cost constants in
+// sim/costmodel.h. The staged burst pipeline itself is sim/datapath.h.
 #pragma once
 
 #include "sim/costmodel.h"
+#include "sim/datapath.h"
 #include "sim/node.h"

@@ -1,0 +1,236 @@
+#include "sim/datapath.h"
+
+#include <array>
+
+#include "seg6/lwt.h"
+#include "seg6/seg6local.h"
+#include "sim/node.h"
+
+namespace srv6bpf::sim {
+
+namespace {
+
+// Scratch the stages share for one burst. Lives on the caller's stack so the
+// pipeline stays re-entrant (ICMP generation sends from inside a burst).
+struct BurstState {
+  std::array<seg6::PipelineResult, net::kMaxBurstPackets> r;
+  std::array<bool, net::kMaxBurstPackets> active;
+};
+
+}  // namespace
+
+void Datapath::process_burst(net::PacketBurst& b, bool local_out,
+                             seg6::ProcessTrace* traces) {
+  const std::size_t n = b.size();
+  Node& node = node_;
+  seg6::Netns& ns = node.ns();
+  NodeStats& stats = node.stats;
+
+  BurstState st;
+  // Group scratch: packet/trace/result views over one run of packets that
+  // share a lookup key (destination or route).
+  std::array<net::Packet*, net::kMaxBurstPackets> gp;
+  std::array<seg6::ProcessTrace*, net::kMaxBurstPackets> gt;
+  std::array<seg6::PipelineResult, net::kMaxBurstPackets> gr;
+  std::array<std::size_t, net::kMaxBurstPackets> gi;
+
+  // Finalizers. These mirror the single-packet state machine's exits; the
+  // specific drop counter for kDrop verdicts is bumped by the caller side.
+  auto finish_drop = [&](std::size_t i) {
+    b.meta(i).verdict = net::BurstVerdict::kDrop;
+    st.active[i] = false;
+  };
+  auto finish_local = [&](std::size_t i) {
+    b.meta(i).verdict = net::BurstVerdict::kLocal;
+    st.active[i] = false;
+  };
+
+  // ---- Stage 1: classify ---------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    traces[i].reset();
+    st.r[i] = seg6::PipelineResult::cont(0);
+    st.active[i] = true;
+    net::Packet& p = b.pkt(i);
+    if (p.size() < net::kIpv6HeaderSize || p.ipv6().version() != 6) {
+      ++stats.drops_malformed;
+      traces[i].dropped = true;
+      finish_drop(i);
+    }
+  }
+
+  // First seg6local pass: run-group consecutive valid packets by destination
+  // and resolve the SID table once per run (mirrors the pre-loop lookup of
+  // the single-packet pipeline, so it does not consume a disposition round).
+  if (!local_out) {
+    std::size_t i = 0;
+    while (i < n) {
+      if (!st.active[i]) {
+        ++i;
+        continue;
+      }
+      const net::Ipv6Addr dst = b.pkt(i).ipv6().dst();
+      std::size_t m = 0;
+      std::size_t j = i;
+      for (; j < n && st.active[j] && b.pkt(j).ipv6().dst() == dst; ++j) {
+        gp[m] = &b.pkt(j);
+        gt[m] = &traces[j];
+        gi[m] = j;
+        ++m;
+      }
+      if (const seg6::Seg6LocalEntry* sid = ns.seg6local().lookup(dst)) {
+        seg6::seg6local_process_burst(ns, {gp.data(), m}, *sid, gt.data(),
+                                      gr.data());
+        for (std::size_t k = 0; k < m; ++k) st.r[gi[k]] = gr[k];
+      } else if (ns.is_local(dst)) {
+        for (std::size_t k = 0; k < m; ++k) finish_local(gi[k]);
+      }
+      // else: st.r stays kContinue(0) — plain FIB forwarding.
+      i = j;
+    }
+  }
+
+  // ---- Stages 2+3: disposition rounds (seg6local / lwt / fib) -------------
+  // Each round is one iteration of the former per-packet disposition loop:
+  // settle non-continue dispositions, then handle the continues with grouped
+  // lookups. Encapsulations and rewritten destinations come back for another
+  // round; the bound defeats routing loops inside one node.
+  for (int round = 0; round < 4; ++round) {
+    std::size_t still_continue = 0;
+
+    // Settle.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!st.active[i]) continue;
+      net::Packet& p = b.pkt(i);
+      switch (st.r[i].disposition) {
+        case seg6::Disposition::kDrop:
+          ++stats.drops_verdict;
+          traces[i].dropped = true;
+          finish_drop(i);
+          break;
+        case seg6::Disposition::kLocal:
+          finish_local(i);
+          break;
+        case seg6::Disposition::kUseRoute:
+          // Only produced inside the kContinue handling; treated there.
+          ++stats.drops_no_route;
+          finish_drop(i);
+          break;
+        case seg6::Disposition::kForward: {
+          if (!p.dst().valid) {
+            ++stats.drops_no_route;
+            finish_drop(i);
+            break;
+          }
+          b.meta(i).oif = p.dst().oif;
+          if (!local_out) {
+            const std::uint8_t hl = p.ipv6().hop_limit();
+            if (hl <= 1) {
+              ++stats.drops_ttl;
+              node.send_icmp_time_exceeded(p);
+              traces[i].dropped = true;
+              finish_drop(i);
+              break;
+            }
+            p.ipv6().set_hop_limit(static_cast<std::uint8_t>(hl - 1));
+          }
+          b.meta(i).verdict = net::BurstVerdict::kForward;
+          st.active[i] = false;
+          break;
+        }
+        case seg6::Disposition::kContinue:
+          ++still_continue;
+          break;
+      }
+    }
+    if (still_continue == 0) break;
+
+    // Continue handling, run-grouped by (destination, table).
+    std::size_t i = 0;
+    while (i < n) {
+      if (!st.active[i]) {
+        ++i;
+        continue;
+      }
+      const net::Ipv6Addr dst = b.pkt(i).ipv6().dst();
+      const int table = st.r[i].table;
+      std::size_t m = 0;
+      std::size_t j = i;
+      for (; j < n && st.active[j] && st.r[j].table == table &&
+             b.pkt(j).ipv6().dst() == dst;
+           ++j) {
+        gp[m] = &b.pkt(j);
+        gt[m] = &traces[j];
+        gi[m] = j;
+        ++m;
+      }
+      i = j;
+
+      // A rewritten destination may target another local SID (e.g. B6
+      // policies whose first segment is local) or a local address (e.g.
+      // after decap on the final node).
+      if (const seg6::Seg6LocalEntry* sid = ns.seg6local().lookup(dst)) {
+        seg6::seg6local_process_burst(ns, {gp.data(), m}, *sid, gt.data(),
+                                      gr.data());
+        for (std::size_t k = 0; k < m; ++k) st.r[gi[k]] = gr[k];
+        continue;  // next round settles
+      }
+      if (ns.is_local(dst)) {
+        for (std::size_t k = 0; k < m; ++k) finish_local(gi[k]);
+        continue;
+      }
+
+      const seg6::Fib* fib = ns.find_table(table);
+      const seg6::Route* route = fib ? fib->lookup(dst) : nullptr;
+      for (std::size_t k = 0; k < m; ++k) ++gt[k]->fib_lookups;
+      if (route == nullptr) {
+        for (std::size_t k = 0; k < m; ++k) {
+          ++stats.drops_no_route;
+          gt[k]->dropped = true;
+          finish_drop(gi[k]);
+        }
+        continue;
+      }
+
+      // Resolves the route's own nexthop into the packet's dst metadata
+      // (ECMP per-packet: the flow hash keeps flows on one path).
+      auto take_nexthop = [&](std::size_t k) {
+        if (route->nexthops.empty()) {
+          ++stats.drops_no_route;
+          finish_drop(gi[k]);
+          return;
+        }
+        net::Packet& p = *gp[k];
+        const seg6::Nexthop& nh =
+            seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
+        p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
+        p.dst().oif = nh.oif;
+        p.dst().valid = true;
+        st.r[gi[k]] = seg6::PipelineResult::forward();
+      };
+
+      if (route->lwt && route->lwt->kind != seg6::LwtState::Kind::kNone) {
+        seg6::lwt_process_burst(ns, {gp.data(), m}, *route->lwt,
+                                seg6::LwtHook::kXmit, gt.data(), gr.data());
+        for (std::size_t k = 0; k < m; ++k) {
+          if (gr[k].disposition == seg6::Disposition::kUseRoute)
+            take_nexthop(k);
+          else
+            st.r[gi[k]] = gr[k];
+        }
+        continue;
+      }
+      for (std::size_t k = 0; k < m; ++k) take_nexthop(k);
+    }
+  }
+
+  // Disposition rounds exhausted: whatever is still in flight loops.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!st.active[i]) continue;
+    ++stats.drops_no_route;
+    finish_drop(i);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) stats.account(traces[i]);
+}
+
+}  // namespace srv6bpf::sim

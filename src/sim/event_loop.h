@@ -20,6 +20,16 @@ class EventLoop {
  public:
   using Fn = std::function<void()>;
 
+  EventLoop() {
+    // The burst datapath still churns thousands of in-flight events on a
+    // saturated run; start the heap with room so the steady state never
+    // pays vector regrowth.
+    std::vector<Event> storage;
+    storage.reserve(4096);
+    queue_ = std::priority_queue<Event, std::vector<Event>, Later>(
+        Later{}, std::move(storage));
+  }
+
   TimeNs now() const noexcept { return now_; }
 
   // Schedules `fn` at absolute time `t` (clamped to now()).

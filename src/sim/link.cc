@@ -17,42 +17,62 @@ void Link::attach(int side, Node* node, int ifindex) {
 }
 
 void Link::transmit(net::Packet&& pkt, int from_side) {
+  net::PacketBurst b;
+  b.push(std::move(pkt), loop_.now());
+  transmit_burst(std::move(b), from_side);
+}
+
+void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
   Side& tx = sides_[from_side];
   Side& rx = sides_[1 - from_side];
-  if (rx.node == nullptr) return;  // unattached: blackhole
+  if (rx.node == nullptr || burst.empty()) return;  // unattached: blackhole
 
   const TimeNs now = loop_.now();
-  const std::size_t wire_bytes = pkt.size() + kWireOverheadBytes;
+  net::PacketBurst out;  // survivors, stamped with their wire arrival times
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    net::Packet& pkt = burst.pkt(i);
+    // The packet's logical enqueue time: its CPU-completion timestamp when
+    // dispatched from a burst (>= now), or now for single-packet sends.
+    const TimeNs t = std::max(burst.meta(i).at_ns, now);
+    const std::size_t wire_bytes = pkt.size() + kWireOverheadBytes;
 
-  // Stage 1: the egress qdisc (netem shaping/delay/jitter).
-  const NetemQdisc::Decision qd = tx.qdisc.enqueue(now, wire_bytes, rng_);
-  if (qd.dropped) {
-    ++tx.stats.drops;
-    return;
+    // Stage 1: the egress qdisc (netem shaping/delay/jitter).
+    const NetemQdisc::Decision qd = tx.qdisc.enqueue(t, wire_bytes, rng_);
+    if (qd.dropped) {
+      ++tx.stats.drops;
+      continue;
+    }
+
+    // Stage 2: the wire itself (serialization at link rate + propagation).
+    const TimeNs ready = std::max(qd.deliver_at, tx.wire_free_at);
+    const TimeNs backlog_ns = tx.wire_free_at > t ? tx.wire_free_at - t : 0;
+    const double backlog_bytes = static_cast<double>(backlog_ns) *
+                                 static_cast<double>(bandwidth_bps_) / 8e9;
+    if (backlog_bytes > static_cast<double>(wire_queue_limit_bytes_)) {
+      ++tx.stats.drops;
+      continue;
+    }
+    const TimeNs ser =
+        static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8e9 /
+                            static_cast<double>(bandwidth_bps_));
+    tx.wire_free_at = ready + ser;
+    const TimeNs arrival = tx.wire_free_at + prop_delay_;
+
+    ++tx.stats.tx_packets;
+    tx.stats.tx_bytes += wire_bytes;
+    out.push(std::move(pkt), arrival);
   }
+  if (out.empty()) return;
 
-  // Stage 2: the wire itself (serialization at link rate + propagation).
-  const TimeNs ready = std::max(qd.deliver_at, tx.wire_free_at);
-  const TimeNs backlog_ns = tx.wire_free_at > now ? tx.wire_free_at - now : 0;
-  const double backlog_bytes = static_cast<double>(backlog_ns) *
-                               static_cast<double>(bandwidth_bps_) / 8e9;
-  if (backlog_bytes > static_cast<double>(wire_queue_limit_bytes_)) {
-    ++tx.stats.drops;
-    return;
-  }
-  const TimeNs ser = static_cast<TimeNs>(static_cast<double>(wire_bytes) * 8e9 /
-                                         static_cast<double>(bandwidth_bps_));
-  tx.wire_free_at = ready + ser;
-  const TimeNs arrival = tx.wire_free_at + prop_delay_;
-
-  ++tx.stats.tx_packets;
-  tx.stats.tx_bytes += wire_bytes;
-
+  // Back-to-back serialization makes arrivals monotone, so one event at the
+  // last arrival moves the whole burst; per-packet arrival times ride in the
+  // metadata (interrupt coalescing, in effect).
+  const TimeNs last_arrival = out.meta(out.size() - 1).at_ns;
   Node* dst_node = rx.node;
   const int dst_if = rx.ifindex;
-  loop_.schedule_at(arrival,
-                    [dst_node, dst_if, p = std::move(pkt)]() mutable {
-                      dst_node->receive_from_link(std::move(p), dst_if);
+  loop_.schedule_at(last_arrival,
+                    [dst_node, dst_if, b = std::move(out)]() mutable {
+                      dst_node->receive_burst_from_link(std::move(b), dst_if);
                     });
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "net/burst.h"
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "sim/netem.h"
@@ -28,8 +29,16 @@ class Link {
   NetemQdisc& qdisc(int side) { return sides_[side].qdisc; }
 
   // Enqueues the packet at `from_side`'s egress; delivery to the peer node is
-  // scheduled on the event loop.
+  // scheduled on the event loop. Thin wrapper over transmit_burst.
   void transmit(net::Packet&& pkt, int from_side);
+
+  // Vector transmit: serializes the burst back-to-back on the wire. Each
+  // packet enters the qdisc/wire at its own logical timestamp (burst
+  // metadata at_ns, clamped to now) — so per-packet wire math is identical
+  // to sequential transmit() calls — and the whole burst is delivered to the
+  // peer with a single scheduled event at the last packet's arrival, each
+  // packet carrying its own arrival time in the metadata.
+  void transmit_burst(net::PacketBurst&& burst, int from_side);
 
   std::uint64_t bandwidth_bps() const noexcept { return bandwidth_bps_; }
   TimeNs prop_delay() const noexcept { return prop_delay_; }

@@ -1,6 +1,8 @@
 #include "sim/node.h"
 
+#include <array>
 #include <cstring>
+#include <stdexcept>
 
 #include "net/checksum.h"
 #include "seg6/lwt.h"
@@ -10,219 +12,193 @@
 namespace srv6bpf::sim {
 
 Node::Node(EventLoop& loop, Rng& rng, std::string name)
-    : loop_(loop), rng_(rng), name_(std::move(name)), ns_(name_) {
+    : loop_(loop), rng_(rng), name_(std::move(name)), ns_(name_),
+      datapath_(*this) {
   ns_.clock = [this] { return loop_.now(); };
 }
 
 int Node::add_interface(Link& link, int side, const net::Ipv6Addr& addr) {
   const int ifindex = static_cast<int>(ifaces_.size());
-  ifaces_.push_back(Iface{&link, side, addr});
+  ifaces_.push_back(Iface{&link, side, addr, {}});
   link.attach(side, this, ifindex);
   ns_.add_local_addr(addr);
   return ifindex;
 }
 
-void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
-  ++stats.rx_packets;
-  pkt.rx_tstamp_ns = loop_.now();
-  pkt.ingress_ifindex = static_cast<std::uint32_t>(ifindex);
-  pkt.dst() = net::DstEntry{};  // fresh routing decision on this node
+const net::Ipv6Addr& Node::interface_addr(int ifindex) const {
+  if (ifindex < 0 || static_cast<std::size_t>(ifindex) >= ifaces_.size())
+    throw std::out_of_range("interface_addr: no ifindex " +
+                            std::to_string(ifindex) + " on " + name_);
+  return ifaces_[static_cast<std::size_t>(ifindex)].addr;
+}
 
-  if (!cpu.enabled) {
-    dispatch(process(std::move(pkt), /*local_out=*/false), loop_.now());
-    return;
-  }
-  if (rx_queue_.size() >= cpu.rx_queue_limit) {
+void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
+  Iface& iface = ifaces_[static_cast<std::size_t>(ifindex)];
+  if (iface.rx_ring.size() >= cpu.rx_queue_limit) {
     ++stats.drops_rx_queue;
     return;
   }
-  rx_queue_.emplace_back(std::move(pkt), ifindex);
+  iface.rx_ring.push_back(std::move(pkt));
   maybe_schedule_service();
 }
 
-void Node::maybe_schedule_service() {
-  if (servicing_ || rx_queue_.empty()) return;
-  servicing_ = true;
-  const TimeNs start = std::max(loop_.now(), cpu.busy_until);
-  loop_.schedule_at(start, [this] { service_one(); });
+void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
+  net::PacketBurst b;
+  b.push(std::move(pkt), /*at_ns=*/loop_.now());
+  receive_burst_from_link(std::move(b), ifindex);
 }
 
-void Node::service_one() {
-  if (rx_queue_.empty()) {
+void Node::receive_burst_from_link(net::PacketBurst&& burst, int ifindex) {
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    ++stats.rx_packets;
+    net::Packet& p = burst.pkt(i);
+    // Each packet keeps its own wire arrival time, not the (coalesced)
+    // delivery event's clock.
+    p.rx_tstamp_ns = burst.meta(i).at_ns;
+    p.ingress_ifindex = static_cast<std::uint32_t>(ifindex);
+    p.dst() = net::DstEntry{};
+  }
+  if (!cpu.enabled) {
+    process_and_dispatch(burst, /*local_out=*/false);
+    return;
+  }
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    enqueue_rx(std::move(burst.pkt(i)), ifindex);
+}
+
+bool Node::rings_empty() const {
+  for (const Iface& iface : ifaces_)
+    if (!iface.rx_ring.empty()) return false;
+  return true;
+}
+
+void Node::maybe_schedule_service() {
+  if (servicing_ || rings_empty()) return;
+  servicing_ = true;
+  const TimeNs start = std::max(loop_.now(), cpu.busy_until);
+  loop_.schedule_at(start, [this] { service_burst(); });
+}
+
+void Node::service_burst() {
+  net::PacketBurst b;
+  const std::size_t budget =
+      std::min(cpu.rx_burst > 0 ? cpu.rx_burst : 1, b.capacity());
+  // Round-robin across the interface rings (NAPI's budget rotation in
+  // miniature) so one busy NIC cannot starve the others.
+  const std::size_t nif = ifaces_.size();
+  for (std::size_t pass = 0; pass < nif && b.size() < budget; ++pass) {
+    auto& ring = ifaces_[(rr_iface_ + pass) % nif].rx_ring;
+    while (!ring.empty() && b.size() < budget) {
+      b.push(std::move(ring.front()));
+      ring.pop_front();
+    }
+  }
+  if (nif > 0) rr_iface_ = (rr_iface_ + 1) % nif;
+  if (b.empty()) {
     servicing_ = false;
     return;
   }
-  auto [pkt, ifindex] = std::move(rx_queue_.front());
-  rx_queue_.pop_front();
-  (void)ifindex;
+  ++stats.service_events;
+  stats.serviced_packets += b.size();
 
-  Outcome out = process(std::move(pkt), /*local_out=*/false);
-  const std::uint64_t cost = packet_cost_ns(cpu.profile, trace_);
-  cpu.busy_until = loop_.now() + cost;
+  std::array<seg6::ProcessTrace, net::kMaxBurstPackets> traces;
+  datapath_.process_burst(b, /*local_out=*/false, traces.data());
+  trace_ = traces[b.size() - 1];
 
-  loop_.schedule_at(cpu.busy_until,
-                    [this, o = std::move(out)]() mutable {
-                      dispatch(std::move(o), loop_.now());
-                      servicing_ = false;
-                      maybe_schedule_service();
-                    });
+  // Per-packet completion times are exactly the sequential model's: packet i
+  // finishes when the CPU has served every packet before it plus itself.
+  TimeNs t = std::max(loop_.now(), cpu.busy_until);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    t += packet_cost_ns(cpu.profile, traces[i]);
+    b.meta(i).at_ns = t;
+  }
+  cpu.busy_until = t;
+  dispatch_burst(b);
+
+  if (!rings_empty())
+    loop_.schedule_at(cpu.busy_until, [this] { service_burst(); });
+  else
+    servicing_ = false;
 }
 
 void Node::send(net::Packet&& pkt) {
   pkt.dst() = net::DstEntry{};
-  dispatch(process(std::move(pkt), /*local_out=*/true), loop_.now());
+  net::PacketBurst b;
+  b.push(std::move(pkt));
+  process_and_dispatch(b, /*local_out=*/true);
 }
 
-void Node::dispatch(Outcome&& out, TimeNs now) {
-  switch (out.kind) {
-    case Outcome::Kind::kTransmit: {
-      if (out.oif < 0 ||
-          out.oif >= static_cast<int>(ifaces_.size())) {
-        ++stats.drops_no_route;
-        return;
-      }
-      ++stats.tx_packets;
-      if (out.pkt.tx_tstamp_ns == 0) out.pkt.tx_tstamp_ns = now;
-      Iface& iface = ifaces_[static_cast<std::size_t>(out.oif)];
-      iface.link->transmit(std::move(out.pkt), iface.side);
-      return;
-    }
-    case Outcome::Kind::kLocal:
-      ++stats.local_delivered;
-      if (local_handler_) local_handler_(std::move(out.pkt), now);
-      return;
-    case Outcome::Kind::kDrop:
-      return;  // specific drop counter already bumped in process()
-  }
+void Node::send_burst(net::PacketBurst&& burst) {
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    burst.pkt(i).dst() = net::DstEntry{};
+  process_and_dispatch(burst, /*local_out=*/true);
 }
 
-Node::Outcome Node::process(net::Packet&& pkt, bool local_out) {
-  trace_.reset();
-  Outcome out;
-  out.pkt = std::move(pkt);
-  net::Packet& p = out.pkt;
+void Node::process_and_dispatch(net::PacketBurst& b, bool local_out) {
+  if (b.empty()) return;
+  std::array<seg6::ProcessTrace, net::kMaxBurstPackets> traces;
+  datapath_.process_burst(b, local_out, traces.data());
+  trace_ = traces[b.size() - 1];
+  const TimeNs now = loop_.now();
+  for (std::size_t i = 0; i < b.size(); ++i) b.meta(i).at_ns = now;
+  dispatch_burst(b);
+}
 
-  if (p.size() < net::kIpv6HeaderSize || p.ipv6().version() != 6) {
-    ++stats.drops_malformed;
-    trace_.dropped = true;
-    return out;
-  }
-
-  seg6::PipelineResult r = seg6::PipelineResult::cont(0);
-  bool did_behaviour = false;
-
-  if (!local_out) {
-    const net::Ipv6Addr dst = p.ipv6().dst();
-    if (const seg6::Seg6LocalEntry* sid = ns_.seg6local().lookup(dst)) {
-      r = seg6local_process(ns_, p, *sid, &trace_);
-      did_behaviour = true;
-    } else if (ns_.is_local(dst)) {
-      out.kind = Outcome::Kind::kLocal;
-      return out;
-    }
-  }
-  (void)did_behaviour;
-
-  // Disposition loop: encapsulations and rewritten destinations trigger new
-  // lookups; bounded to defeat routing loops inside one node.
-  for (int guard = 0; guard < 4; ++guard) {
-    switch (r.disposition) {
-      case seg6::Disposition::kDrop:
-        ++stats.drops_verdict;
-        trace_.dropped = true;
-        return out;
-
-      case seg6::Disposition::kLocal:
-        out.kind = Outcome::Kind::kLocal;
-        return out;
-
-      case seg6::Disposition::kForward: {
-        // Destination metadata is set (End.X / BPF_REDIRECT).
-        if (!p.dst().valid) {
-          ++stats.drops_no_route;
-          return out;
-        }
-        out.oif = p.dst().oif;
-        break;  // to hop-limit handling below
-      }
-
-      case seg6::Disposition::kUseRoute:
-        // Only produced inside the kContinue handling; treated there.
-        ++stats.drops_no_route;
-        return out;
-
-      case seg6::Disposition::kContinue: {
-        const net::Ipv6Addr dst = p.ipv6().dst();
-        // A rewritten destination may target another local SID (e.g. B6
-        // policies whose first segment is local) or a local address (e.g.
-        // after decap on the final node).
-        if (const seg6::Seg6LocalEntry* sid = ns_.seg6local().lookup(dst)) {
-          r = seg6local_process(ns_, p, *sid, &trace_);
-          continue;
-        }
-        if (ns_.is_local(dst)) {
-          out.kind = Outcome::Kind::kLocal;
-          return out;
-        }
-        const seg6::Fib* fib = ns_.find_table(r.table);
-        const seg6::Route* route = fib ? fib->lookup(dst) : nullptr;
-        ++trace_.fib_lookups;
-        if (route == nullptr) {
-          ++stats.drops_no_route;
-          trace_.dropped = true;
-          return out;
-        }
-        if (route->lwt && route->lwt->kind != seg6::LwtState::Kind::kNone) {
-          const seg6::PipelineResult lr = seg6::lwt_process(
-              ns_, p, *route->lwt, seg6::LwtHook::kXmit, &trace_);
-          if (lr.disposition == seg6::Disposition::kUseRoute) {
-            if (route->nexthops.empty()) {
-              ++stats.drops_no_route;
-              return out;
-            }
-            const seg6::Nexthop& nh =
-                seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
-            p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
-            p.dst().oif = nh.oif;
-            p.dst().valid = true;
-            out.oif = nh.oif;
-            r = seg6::PipelineResult::forward();
-            continue;
+void Node::dispatch_burst(net::PacketBurst& b) {
+  const std::size_t n = b.size();
+  // Locals and invalid egress first, in packet order.
+  for (std::size_t i = 0; i < n; ++i) {
+    net::BurstSlotMeta& meta = b.meta(i);
+    switch (meta.verdict) {
+      case net::BurstVerdict::kLocal:
+        ++stats.local_delivered;
+        if (local_handler_) {
+          // On a CPU-modelled node the packet completes at at_ns, later
+          // than this service event: defer the handler so its side effects
+          // (replies, timers) run at the same sim time as the sequential
+          // model's dispatch-at-busy_until event.
+          if (meta.at_ns > loop_.now()) {
+            loop_.schedule_at(meta.at_ns,
+                              [this, p = std::move(b.pkt(i))]() mutable {
+                                local_handler_(std::move(p), loop_.now());
+                              });
+          } else {
+            local_handler_(std::move(b.pkt(i)), meta.at_ns);
           }
-          r = lr;
-          continue;
         }
-        if (route->nexthops.empty()) {
+        break;
+      case net::BurstVerdict::kForward:
+        if (meta.oif < 0 || meta.oif >= static_cast<int>(ifaces_.size())) {
           ++stats.drops_no_route;
-          return out;
+          meta.verdict = net::BurstVerdict::kDrop;
         }
-        const seg6::Nexthop& nh =
-            seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
-        p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
-        p.dst().oif = nh.oif;
-        p.dst().valid = true;
-        out.oif = nh.oif;
-        r = seg6::PipelineResult::forward();
-        continue;
-      }
+        break;
+      case net::BurstVerdict::kDrop:
+      case net::BurstVerdict::kPending:
+        break;  // specific drop counter already bumped in the datapath
     }
-    // Reached on kForward with out.oif set: hop limit, then transmit.
-    if (!local_out) {
-      const std::uint8_t hl = p.ipv6().hop_limit();
-      if (hl <= 1) {
-        ++stats.drops_ttl;
-        send_icmp_time_exceeded(p);
-        trace_.dropped = true;
-        out.kind = Outcome::Kind::kDrop;
-        return out;
-      }
-      p.ipv6().set_hop_limit(static_cast<std::uint8_t>(hl - 1));
-    }
-    out.kind = Outcome::Kind::kTransmit;
-    return out;
   }
-  ++stats.drops_no_route;  // disposition loop exhausted
-  return out;
+  // Forwards, grouped per egress interface; packet order is preserved within
+  // each link, and each group goes out as one burst transmit.
+  std::array<bool, net::kMaxBurstPackets> consumed{};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (consumed[i] || b.meta(i).verdict != net::BurstVerdict::kForward)
+      continue;
+    const int oif = b.meta(i).oif;
+    net::PacketBurst tx;
+    for (std::size_t j = i; j < n; ++j) {
+      if (consumed[j] || b.meta(j).verdict != net::BurstVerdict::kForward ||
+          b.meta(j).oif != oif)
+        continue;
+      consumed[j] = true;
+      ++stats.tx_packets;
+      if (b.pkt(j).tx_tstamp_ns == 0) b.pkt(j).tx_tstamp_ns = b.meta(j).at_ns;
+      tx.push(std::move(b.pkt(j)), b.meta(j).at_ns);
+    }
+    Iface& iface = ifaces_[static_cast<std::size_t>(oif)];
+    iface.link->transmit_burst(std::move(tx), iface.side);
+  }
+  b.clear();
 }
 
 void Node::send_icmp_time_exceeded(const net::Packet& orig) {

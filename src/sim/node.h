@@ -6,6 +6,20 @@
 // per-packet processing cost (sim/costmodel.h) into a forwarding-rate cap
 // with a bounded RX backlog — exactly how the paper's single-core routers
 // saturate at 610 kpps while the source offers 3 Mpps.
+//
+// Forwarding is burst-oriented: each CPU service event drains up to
+// Cpu::rx_burst packets from the per-interface RX rings (NAPI polling) and
+// runs them through the staged Datapath (sim/datapath.h). The per-packet
+// *charged* CPU cost, the servicing node's completion times and local
+// delivery times follow the sequential model exactly; what burst size may
+// shift is coalescing at the edges — a downstream node sees a burst arrive
+// as one delivery at its last wire arrival (interrupt coalescing, bounded
+// by one burst's serialization time), and a BPF program reading
+// bpf_ktime_get_ns sees the service event's clock for the whole burst
+// rather than per-packet staggered clocks. Delivery counts, traces and
+// final stats are burst-invariant (tests/burst_test.cc); bursts amortise
+// the *simulator's* work (events, lookups, BPF program setup), not the
+// modelled router's.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "net/burst.h"
 #include "net/packet.h"
 #include "seg6/ctx.h"
 #include "sim/costmodel.h"
+#include "sim/datapath.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "sim/stats.h"
@@ -38,25 +54,33 @@ class Node {
   // (added as a local address). Returns the ifindex.
   int add_interface(Link& link, int side, const net::Ipv6Addr& addr);
   std::size_t interface_count() const noexcept { return ifaces_.size(); }
-  const net::Ipv6Addr& interface_addr(int ifindex) const {
-    return ifaces_[static_cast<std::size_t>(ifindex)].addr;
-  }
+  // Throws std::out_of_range on a bad ifindex.
+  const net::Ipv6Addr& interface_addr(int ifindex) const;
 
   // ---- CPU service model ----
   struct Cpu {
     bool enabled = false;  // hosts: off; routers under test: on
     CpuProfile profile = kXeonProfile;
-    std::size_t rx_queue_limit = 512;  // packets (NIC ring + softirq backlog)
+    std::size_t rx_queue_limit = 512;  // per-interface ring (NIC + softirq)
+    // Packets drained per service event (the NAPI poll budget); capped at
+    // net::kMaxBurstPackets. Trades simulator efficiency against delivery
+    // coalescing granularity; charged costs and counts are burst-invariant.
+    std::size_t rx_burst = kDefaultRxBurst;
     TimeNs busy_until = 0;
   };
   Cpu cpu;
 
   // ---- traffic entry points ----
-  // Called by Link when a packet arrives on `ifindex`.
+  // Single-packet arrival: thin wrapper over receive_burst_from_link.
   void receive_from_link(net::Packet&& pkt, int ifindex);
+  // Burst arrival (Link::transmit_burst): each packet carries its own wire
+  // arrival time in the burst metadata.
+  void receive_burst_from_link(net::PacketBurst&& burst, int ifindex);
   // Local output path (applications sending); bypasses the CPU model and the
   // hop-limit decrement, like a locally originated skb.
   void send(net::Packet&& pkt);
+  // Vector local output: the whole burst enters the datapath at once.
+  void send_burst(net::PacketBurst&& burst);
 
   // Delivery callback for locally addressed packets.
   using LocalHandler = std::function<void(net::Packet&&, TimeNs now)>;
@@ -66,27 +90,28 @@ class Node {
 
   NodeStats stats;
 
-  // Exposed for tests: run the forwarding pipeline synchronously and return
-  // the last trace (no CPU model, no transmission).
+  // Exposed for tests: the trace of the last packet through the pipeline.
   const seg6::ProcessTrace& last_trace() const noexcept { return trace_; }
 
  private:
+  friend class Datapath;
+
   struct Iface {
     Link* link = nullptr;
     int side = 0;
     net::Ipv6Addr addr;
+    std::deque<net::Packet> rx_ring;  // CPU-model ingress backlog
   };
 
-  struct Outcome {
-    enum class Kind { kTransmit, kLocal, kDrop } kind = Kind::kDrop;
-    int oif = -1;
-    net::Packet pkt;
-  };
-
-  Outcome process(net::Packet&& pkt, bool local_out);
-  void dispatch(Outcome&& out, TimeNs now);
+  void enqueue_rx(net::Packet&& pkt, int ifindex);
   void maybe_schedule_service();
-  void service_one();
+  void service_burst();
+  bool rings_empty() const;
+  // Non-CPU path: datapath + dispatch at the current time.
+  void process_and_dispatch(net::PacketBurst& burst, bool local_out);
+  // Delivers verdicts: locals to the handler, forwards grouped per egress
+  // interface into Link::transmit_burst at their per-packet timestamps.
+  void dispatch_burst(net::PacketBurst& burst);
   void send_icmp_time_exceeded(const net::Packet& orig);
 
   EventLoop& loop_;
@@ -96,8 +121,9 @@ class Node {
   std::vector<Iface> ifaces_;
   LocalHandler local_handler_;
   seg6::ProcessTrace trace_;
+  Datapath datapath_;
 
-  std::deque<std::pair<net::Packet, int>> rx_queue_;
+  std::size_t rr_iface_ = 0;  // round-robin ring drain cursor
   bool servicing_ = false;
 };
 

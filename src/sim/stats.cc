@@ -1,3 +1,19 @@
-// stats.h is header-only; this translation unit exists to give the build a
-// place to grow (e.g. CSV exporters) without touching every target.
 #include "sim/stats.h"
+
+#include "seg6/ctx.h"
+
+namespace srv6bpf::sim {
+
+void NodeStats::account(const seg6::ProcessTrace& t) {
+  ++pipeline.packets;
+  pipeline.seg6local_ops += static_cast<std::uint64_t>(t.seg6local_ops);
+  pipeline.fib_lookups += static_cast<std::uint64_t>(t.fib_lookups);
+  pipeline.bpf_runs += static_cast<std::uint64_t>(t.bpf_runs);
+  pipeline.bpf_insns_jit += t.bpf_insns_jit;
+  pipeline.bpf_insns_interp += t.bpf_insns_interp;
+  pipeline.helper_calls += t.helper_calls;
+  pipeline.encaps += static_cast<std::uint64_t>(t.encaps);
+  pipeline.decaps += static_cast<std::uint64_t>(t.decaps);
+}
+
+}  // namespace srv6bpf::sim

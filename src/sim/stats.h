@@ -6,7 +6,29 @@
 
 #include "sim/event_loop.h"
 
+namespace srv6bpf::seg6 {
+struct ProcessTrace;
+}  // namespace srv6bpf::seg6
+
 namespace srv6bpf::sim {
+
+// Cumulative per-node sums of the per-packet ProcessTrace counters: what the
+// datapath did over the node's lifetime, engine-attributed. The burst
+// differential test asserts these are identical across burst sizes.
+struct PipelineTotals {
+  std::uint64_t packets = 0;  // packets that ran the pipeline
+  std::uint64_t seg6local_ops = 0;
+  std::uint64_t fib_lookups = 0;
+  std::uint64_t bpf_runs = 0;
+  std::uint64_t bpf_insns_jit = 0;
+  std::uint64_t bpf_insns_interp = 0;
+  std::uint64_t helper_calls = 0;
+  std::uint64_t encaps = 0;
+  std::uint64_t decaps = 0;
+
+  friend bool operator==(const PipelineTotals&,
+                         const PipelineTotals&) = default;
+};
 
 struct NodeStats {
   std::uint64_t rx_packets = 0;
@@ -18,6 +40,17 @@ struct NodeStats {
   std::uint64_t drops_verdict = 0;    // seg6local / BPF_DROP / invalid SRH
   std::uint64_t drops_malformed = 0;
   std::uint64_t icmp_time_exceeded_sent = 0;
+
+  // Burst-pipeline observability. service_events counts CPU service
+  // activations (one per drained burst), serviced_packets the packets those
+  // events drained — their ratio is the achieved burst occupancy.
+  std::uint64_t service_events = 0;
+  std::uint64_t serviced_packets = 0;
+  PipelineTotals pipeline;
+
+  // Folds one packet's ProcessTrace into `pipeline` (defined in stats.cc to
+  // keep the seg6 headers out of this one).
+  void account(const seg6::ProcessTrace& t);
 
   std::uint64_t total_drops() const noexcept {
     return drops_rx_queue + drops_no_route + drops_ttl + drops_verdict +

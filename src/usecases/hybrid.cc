@@ -388,6 +388,7 @@ Fig4Lab::Fig4Lab(const Options& opts) : net_(opts.seed), mode_(opts.mode) {
   // paper's ARM32 JIT bug, the interpreter forced on.
   m_->cpu.enabled = true;
   m_->cpu.profile = sim::kTurrisProfile;
+  m_->cpu.rx_burst = opts.cpe_burst;
   m_->ns().bpf().set_jit_enabled(false);
 
   switch (mode_) {

@@ -113,6 +113,9 @@ class Fig4Lab {
   struct Options {
     Mode mode = Mode::kPlainForward;
     std::uint64_t seed = 11;
+    // The CPE's per-service-event drain budget (Node::Cpu::rx_burst).
+    // Burst-invariant simulated goodput; smaller values cost wall-clock.
+    std::size_t cpe_burst = sim::kDefaultRxBurst;
   };
 
   explicit Fig4Lab(const Options& opts);
