@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check bench JSONs against the regression floors in bench/history/baseline.json.
+
+Usage: check_history.py [--strict] [--baseline PATH] JSON...
+
+Each JSON argument is matched to a baseline entry by its basename
+(BENCH_vm.json, BENCH_burst.json, BENCH_mc.json); unknown or missing files
+are skipped with a note so partial runs stay usable.
+
+Exit status is non-zero when any *simulated*-time floor (deterministic on
+every host) is violated, or — with --strict — when any wall-clock floor is.
+Wall-clock violations without --strict only warn: CI smoke runs use --quick
+measurement windows on shared runners, where wall-based ratios are noise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def warn(msg):
+    print(f"WARN: {msg}")
+    return 0
+
+
+def check_floor(data, name, metric, floor, on_violation):
+    value = data.get(metric)
+    if value is None:
+        return fail(f"{name}: metric '{metric}' missing")
+    if value < floor:
+        return on_violation(f"{name}: {metric} = {value} below floor {floor}")
+    print(f"ok:   {name}: {metric} = {value} (floor {floor})")
+    return 0
+
+
+def check_burst_invariance(data, name, limit):
+    rates = [row["sim_kpps"] for row in data.get("rows", [])]
+    if len(rates) < 2 or min(rates) <= 0:
+        return fail(f"{name}: no usable rows for sim_kpps invariance")
+    ratio = max(rates) / min(rates)
+    if ratio > limit:
+        return fail(f"{name}: sim_kpps varies across bursts "
+                    f"(max/min = {ratio:.4f} > {limit}) — the datapath is "
+                    f"no longer burst-invariant")
+    print(f"ok:   {name}: sim_kpps burst-invariant (max/min = {ratio:.4f})")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--strict", action="store_true",
+                    help="wall-clock floors fail instead of warning")
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "history", "baseline.json"))
+    ap.add_argument("jsons", nargs="+")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    rc = 0
+    seen = set()
+    for path in args.jsons:
+        name = os.path.basename(path)
+        if not os.path.exists(path):
+            print(f"skip: {path} not found")
+            continue
+        with open(path) as f:
+            data = json.load(f)
+        seen.add(name)
+        sim_floors = base.get("sim", {}).get(name, {})
+        sim_evaluated = 0
+        for metric, floor in sim_floors.items():
+            if metric in data:  # smoke runs may omit e.g. the 4-cpu row
+                rc |= check_floor(data, name, metric, floor, fail)
+                sim_evaluated += 1
+        # A present file with sim floors must have evaluated at least one of
+        # them — otherwise a renamed/dropped metric would silently disable
+        # the deterministic gate this script exists to enforce.
+        if sim_floors and sim_evaluated == 0:
+            rc |= fail(f"{name}: none of the sim metrics "
+                       f"{sorted(sim_floors)} are present — the "
+                       f"deterministic floors were not evaluated")
+        for metric, floor in base.get("wall", {}).get(name, {}).items():
+            rc |= check_floor(data, name, metric, floor,
+                              fail if args.strict else warn)
+        inv = base.get("sim_invariants", {}).get(name, {})
+        if "rows_sim_kpps_max_over_min" in inv:
+            rc |= check_burst_invariance(data, name,
+                                         inv["rows_sim_kpps_max_over_min"])
+    if not seen:
+        return fail("no bench JSONs found")
+    return 1 if rc else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,8 +92,8 @@ int main() {
 
   std::printf("R forwarded %llu packet(s) (%llu eBPF runs in total); "
               "last packet: %d eBPF run(s), %llu insns on the JIT engine\n",
-              static_cast<unsigned long long>(r.stats.tx_packets),
-              static_cast<unsigned long long>(r.stats.pipeline.bpf_runs),
+              static_cast<unsigned long long>(r.stats().tx_packets),
+              static_cast<unsigned long long>(r.stats().pipeline.bpf_runs),
               r.last_trace().bpf_runs,
               static_cast<unsigned long long>(r.last_trace().bpf_insns_jit));
   return 0;

@@ -21,6 +21,16 @@ void TrafGen::start() {
 net::Packet TrafGen::next_packet() {
   net::Packet pkt = t_template_;  // copy the prebuilt frame
   pkt.seq = static_cast<std::uint32_t>(sent_);
+  if (cfg_.flow_label_spread > 1) {
+    // Rotate the outer flow label in place (bytes 1-3 of the fixed header;
+    // not covered by the transport pseudo-header checksum).
+    const std::uint32_t fl =
+        (cfg_.spec.flow_label + sent_ % cfg_.flow_label_spread) & 0xfffffu;
+    std::uint8_t* p = pkt.data();
+    p[1] = static_cast<std::uint8_t>((p[1] & 0xf0) | ((fl >> 16) & 0x0f));
+    p[2] = static_cast<std::uint8_t>((fl >> 8) & 0xff);
+    p[3] = static_cast<std::uint8_t>(fl & 0xff);
+  }
   if (cfg_.src_port_spread > 1) {
     // Rotate the UDP source port in place (offset depends on SRH presence).
     const auto loc = net::locate_transport(pkt);

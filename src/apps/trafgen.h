@@ -21,6 +21,12 @@ class TrafGen {
     // Vary the UDP source port across packets so ECMP/flow hashing sees many
     // flows (trafgen's port randomisation).
     std::uint16_t src_port_spread = 1;
+    // Vary the outer IPv6 flow label across packets (pktgen's multi-flow
+    // mode). The RSS steering tuple of the multi-core Node is
+    // (src, dst, flow label), so this is the knob that spreads one
+    // generator's traffic over a router's CPU contexts. Packets cycle
+    // labels spec.flow_label .. spec.flow_label + spread - 1.
+    std::uint32_t flow_label_spread = 1;
     // Packets emitted per tick through Node::send_burst (capped at
     // net::kMaxBurstPackets). 1 = one event per packet, exact pps spacing;
     // >1 trades intra-burst arrival spacing (packets leave back-to-back at

@@ -89,6 +89,11 @@ struct ExecEnv {
   // Monotonic clock for bpf_ktime_get_ns; defaults to 0 if unset.
   std::function<std::uint64_t()> now_ns;
 
+  // CPU context this invocation runs on (the multi-core Node's RSS context
+  // id). Read by bpf_get_smp_processor_id and by the map helpers to select
+  // the slot of BPF_MAP_TYPE_PERCPU_* maps.
+  std::uint32_t cpu_id = 0;
+
   // Valid memory regions: the program context and (for packet programs) the
   // packet bytes. The engines add the stack themselves.
   RegionList regions;

@@ -37,8 +37,11 @@ std::uint64_t do_map_lookup(ExecEnv& env, std::uint64_t map_arg,
                             std::uint64_t) {
   Map* map = map_from_arg(env, map_arg);
   if (map == nullptr) return 0;
-  std::uint8_t* value = map->lookup(
-      {reinterpret_cast<const std::uint8_t*>(key), map->key_size()});
+  // Per-CPU maps hand back the invoking context's slot (this-CPU semantics of
+  // the in-kernel helper); for everything else cpu_id is ignored.
+  std::uint8_t* value = map->lookup_cpu(
+      {reinterpret_cast<const std::uint8_t*>(key), map->key_size()},
+      env.cpu_id);
   if (value != nullptr) {
     // Returned value memory becomes accessible to the program for the rest
     // of this invocation; the interpreter checks loads/stores against the
@@ -54,10 +57,10 @@ std::uint64_t do_map_update(ExecEnv& env, std::uint64_t map_arg,
                             std::uint64_t flags, std::uint64_t) {
   Map* map = map_from_arg(env, map_arg);
   if (map == nullptr) return static_cast<std::uint64_t>(kErrInval);
-  return static_cast<std::uint64_t>(map->update(
+  return static_cast<std::uint64_t>(map->update_cpu(
       {reinterpret_cast<const std::uint8_t*>(key), map->key_size()},
       {reinterpret_cast<const std::uint8_t*>(value), map->value_size()},
-      flags));
+      flags, env.cpu_id));
 }
 
 std::uint64_t do_map_delete(ExecEnv& env, std::uint64_t map_arg,
@@ -79,6 +82,12 @@ std::uint64_t do_prandom(ExecEnv& env, std::uint64_t, std::uint64_t,
   return env.prandom ? env.prandom() : 4;  // chosen by fair dice roll
 }
 
+std::uint64_t do_smp_processor_id(ExecEnv& env, std::uint64_t, std::uint64_t,
+                                  std::uint64_t, std::uint64_t,
+                                  std::uint64_t) {
+  return env.cpu_id;
+}
+
 std::uint64_t do_perf_event_output(ExecEnv& env, std::uint64_t /*ctx*/,
                                    std::uint64_t map_arg, std::uint64_t /*flags*/,
                                    std::uint64_t data, std::uint64_t size) {
@@ -87,7 +96,10 @@ std::uint64_t do_perf_event_output(ExecEnv& env, std::uint64_t /*ctx*/,
   const auto* p = reinterpret_cast<const std::uint8_t*>(data);
   if (!env.readable(p, size)) return static_cast<std::uint64_t>(kErrInval);
   const std::uint64_t now = env.now_ns ? env.now_ns() : 0;
-  return map->buffer().push(now, {p, static_cast<std::size_t>(size)})
+  // Records land in the invoking context's ring (BPF_F_CURRENT_CPU; explicit
+  // target-cpu flags are not modelled).
+  return map->buffer().push(now, {p, static_cast<std::size_t>(size)},
+                            env.cpu_id)
              ? 0
              : static_cast<std::uint64_t>(kErrNoSpace);
 }
@@ -133,6 +145,10 @@ void register_generic_helpers(HelperRegistry& reg) {
   reg.register_helper(helper::GET_PRANDOM_U32,
                       {.name = "get_prandom_u32", .ret = RetKind::kInteger},
                       do_prandom);
+  reg.register_helper(helper::GET_SMP_PROCESSOR_ID,
+                      {.name = "get_smp_processor_id",
+                       .ret = RetKind::kInteger},
+                      do_smp_processor_id);
   reg.register_helper(
       helper::PERF_EVENT_OUTPUT,
       {.name = "perf_event_output",

@@ -27,6 +27,7 @@ inline constexpr std::int32_t MAP_DELETE_ELEM = 3;
 inline constexpr std::int32_t KTIME_GET_NS = 5;
 inline constexpr std::int32_t TRACE_PRINTK = 6;
 inline constexpr std::int32_t GET_PRANDOM_U32 = 7;
+inline constexpr std::int32_t GET_SMP_PROCESSOR_ID = 8;
 inline constexpr std::int32_t PERF_EVENT_OUTPUT = 25;
 // The paper's LWT/SRv6 helpers (Linux 4.18 ids).
 inline constexpr std::int32_t LWT_PUSH_ENCAP = 73;
@@ -103,7 +104,7 @@ class HelperRegistry {
 };
 
 // Registers map_lookup/update/delete, ktime_get_ns, get_prandom_u32,
-// perf_event_output and trace_printk.
+// get_smp_processor_id, perf_event_output and trace_printk.
 void register_generic_helpers(HelperRegistry& reg);
 
 }  // namespace srv6bpf::ebpf

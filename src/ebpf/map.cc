@@ -13,12 +13,17 @@ std::unique_ptr<Map> make_map(const MapDef& def) {
                                 "': key/value/max_entries must be non-zero");
   switch (def.type) {
     case MapType::kArray:
-    case MapType::kPerCpuArray:
       if (def.key_size != 4)
         throw std::invalid_argument("array map key_size must be 4");
       return std::make_unique<ArrayMap>(def);
+    case MapType::kPerCpuArray:
+      if (def.key_size != 4)
+        throw std::invalid_argument("array map key_size must be 4");
+      return std::make_unique<PerCpuArrayMap>(def);
     case MapType::kHash:
       return std::make_unique<HashMap>(def);
+    case MapType::kPerCpuHash:
+      return std::make_unique<PerCpuHashMap>(def);
     case MapType::kLpmTrie:
       if (def.key_size <= 4)
         throw std::invalid_argument(

@@ -13,10 +13,16 @@
 
 namespace srv6bpf::ebpf {
 
+// Upper bound on simulated CPU contexts, the num_possible_cpus() analogue:
+// per-CPU maps preallocate one value slot per possible CPU, and the
+// multi-core Node clamps its context count to it.
+inline constexpr std::uint32_t kMaxCpus = 16;
+
 enum class MapType {
   kArray,
   kHash,
-  kPerCpuArray,  // single-CPU simulator: behaves like kArray, kept for API parity
+  kPerCpuArray,     // BPF_MAP_TYPE_PERCPU_ARRAY: one value slot per CPU
+  kPerCpuHash,      // BPF_MAP_TYPE_PERCPU_HASH
   kLpmTrie,
   kPerfEventArray,  // bpf_perf_event_output target (see ebpf/perf_event.h)
 };
@@ -70,6 +76,31 @@ class Map {
   // Number of live entries (arrays always report max_entries).
   virtual std::size_t size() const = 0;
 
+  // ---- Per-CPU view ---------------------------------------------------------
+  // For per-CPU map types, the value a program running on `cpu` sees; for
+  // everything else `cpu` is ignored and these fall back to the shared value.
+  // The BPF-side map helpers route through these with ExecEnv::cpu_id, which
+  // is how BPF_MAP_TYPE_PERCPU_* maps stay contention-free across the
+  // multi-core Node's contexts.
+  virtual std::uint8_t* lookup_cpu(std::span<const std::uint8_t> key,
+                                   std::uint32_t cpu) {
+    (void)cpu;
+    return lookup(key);
+  }
+  virtual int update_cpu(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> value,
+                         std::uint64_t flags, std::uint32_t cpu) {
+    (void)cpu;
+    return update(key, value, flags);
+  }
+  virtual bool per_cpu() const noexcept { return false; }
+
+  // User-space-style summed read of a u64 counter: adds the value across all
+  // possible CPUs for per-CPU maps (the bpf_map_lookup_elem-from-userspace
+  // semantics), or reads the single shared value otherwise. Returns 0 when
+  // the key is absent or value_size != 8.
+  std::uint64_t sum_u64(std::span<const std::uint8_t> key);
+
   // ---- Typed convenience accessors for user-space-side code -----------------
   template <typename K, typename V>
   int put(const K& key, const V& value, std::uint64_t flags = BPF_ANY) {
@@ -83,6 +114,19 @@ class Map {
   std::uint8_t* find(const K& key) {
     static_assert(std::is_trivially_copyable_v<K>);
     return lookup({reinterpret_cast<const std::uint8_t*>(&key), sizeof key});
+  }
+  template <typename K>
+  std::uint8_t* find_cpu(const K& key, std::uint32_t cpu) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    return lookup_cpu({reinterpret_cast<const std::uint8_t*>(&key), sizeof key},
+                      cpu);
+  }
+  template <typename K>
+  std::uint64_t sum_u64(const K& key) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    return sum_u64(
+        std::span<const std::uint8_t>{
+            reinterpret_cast<const std::uint8_t*>(&key), sizeof key});
   }
 
  protected:

@@ -54,6 +54,67 @@ class HashMap final : public Map {
   std::map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>> entries_;
 };
 
+// BPF_MAP_TYPE_PERCPU_ARRAY: one value slot per possible CPU per index.
+// BPF-side lookups/updates (lookup_cpu/update_cpu) touch only the invoking
+// context's slot; user-space update() broadcasts to every CPU (the syscall
+// analogue requires a full per-CPU value vector — initialisation writes).
+class PerCpuArrayMap final : public Map {
+ public:
+  explicit PerCpuArrayMap(const MapDef& def);
+
+  std::uint8_t* lookup(std::span<const std::uint8_t> key) override {
+    return lookup_cpu(key, 0);
+  }
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) override;
+  int erase(std::span<const std::uint8_t> key) override;
+  std::size_t size() const override { return max_entries(); }
+
+  std::uint8_t* lookup_cpu(std::span<const std::uint8_t> key,
+                           std::uint32_t cpu) override;
+  int update_cpu(std::span<const std::uint8_t> key,
+                 std::span<const std::uint8_t> value, std::uint64_t flags,
+                 std::uint32_t cpu) override;
+  bool per_cpu() const noexcept override { return true; }
+
+ private:
+  std::uint8_t* slot(std::uint32_t cpu, std::uint32_t index) noexcept {
+    return storage_.data() +
+           (static_cast<std::size_t>(cpu) * max_entries() + index) *
+               value_size();
+  }
+  std::vector<std::uint8_t> storage_;  // kMaxCpus * max_entries * value_size
+};
+
+// BPF_MAP_TYPE_PERCPU_HASH: like HashMap, but every entry owns kMaxCpus
+// value slots (zero-filled on creation). Same stable-pointer guarantee.
+class PerCpuHashMap final : public Map {
+ public:
+  explicit PerCpuHashMap(const MapDef& def) : Map(def) {}
+
+  std::uint8_t* lookup(std::span<const std::uint8_t> key) override {
+    return lookup_cpu(key, 0);
+  }
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) override;
+  int erase(std::span<const std::uint8_t> key) override;
+  std::size_t size() const override { return entries_.size(); }
+
+  std::uint8_t* lookup_cpu(std::span<const std::uint8_t> key,
+                           std::uint32_t cpu) override;
+  int update_cpu(std::span<const std::uint8_t> key,
+                 std::span<const std::uint8_t> value, std::uint64_t flags,
+                 std::uint32_t cpu) override;
+  bool per_cpu() const noexcept override { return true; }
+
+ private:
+  // flags validation + entry creation shared by the two update paths; on
+  // success returns the entry's value buffer (kMaxCpus slots), else sets rc.
+  std::uint8_t* upsert(std::span<const std::uint8_t> key, std::uint64_t flags,
+                       int& rc);
+  std::map<std::vector<std::uint8_t>, std::unique_ptr<std::uint8_t[]>> entries_;
+};
+
 // BPF_MAP_TYPE_LPM_TRIE: longest-prefix-match over big-endian bit strings.
 // Key layout matches struct bpf_lpm_trie_key: a host-endian u32 prefix length
 // followed by (key_size - 4) data bytes, most significant bit first.

@@ -1,0 +1,148 @@
+// BPF_MAP_TYPE_PERCPU_ARRAY / BPF_MAP_TYPE_PERCPU_HASH.
+//
+// Each key owns kMaxCpus value slots. A program running on CPU context `c`
+// (ExecEnv::cpu_id, set by the multi-core Node) reads and writes slot `c`
+// only, so counters kept by End.BPF/LWT programs never race across contexts
+// — the reason the kernel grew these types, and the reason the multi-core
+// Node model needs them. User space reads per-CPU slots via lookup_cpu and
+// sums counters via Map::sum_u64.
+#include <cstring>
+
+#include "ebpf/map_impl.h"
+#include "util/byteorder.h"
+
+namespace srv6bpf::ebpf {
+
+std::uint64_t Map::sum_u64(std::span<const std::uint8_t> key) {
+  if (value_size() != 8) return 0;
+  const std::uint32_t ncpu = per_cpu() ? kMaxCpus : 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < ncpu; ++c) {
+    const std::uint8_t* v = lookup_cpu(key, c);
+    if (v == nullptr) return total;
+    std::uint64_t x;
+    std::memcpy(&x, v, 8);
+    total += x;
+  }
+  return total;
+}
+
+// ---- PerCpuArrayMap ---------------------------------------------------------
+
+PerCpuArrayMap::PerCpuArrayMap(const MapDef& def) : Map(def) {
+  storage_.assign(static_cast<std::size_t>(kMaxCpus) * def.max_entries *
+                      def.value_size,
+                  0);
+}
+
+std::uint8_t* PerCpuArrayMap::lookup_cpu(std::span<const std::uint8_t> key,
+                                         std::uint32_t cpu) {
+  if (!key_ok(key) || cpu >= kMaxCpus) return nullptr;
+  const std::uint32_t index = load_unaligned<std::uint32_t>(key.data());
+  if (index >= max_entries()) return nullptr;
+  return slot(cpu, index);
+}
+
+int PerCpuArrayMap::update(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> value,
+                           std::uint64_t flags) {
+  if (!key_ok(key) || !value_ok(value)) return kErrInval;
+  if (flags == BPF_NOEXIST) return kErrExist;  // array entries always exist
+  if (flags > BPF_EXIST) return kErrInval;
+  const std::uint32_t index = load_unaligned<std::uint32_t>(key.data());
+  if (index >= max_entries()) return kErrNoEnt;
+  for (std::uint32_t c = 0; c < kMaxCpus; ++c)
+    std::memcpy(slot(c, index), value.data(), value.size());
+  return kOk;
+}
+
+int PerCpuArrayMap::update_cpu(std::span<const std::uint8_t> key,
+                               std::span<const std::uint8_t> value,
+                               std::uint64_t flags, std::uint32_t cpu) {
+  if (!key_ok(key) || !value_ok(value) || cpu >= kMaxCpus) return kErrInval;
+  if (flags == BPF_NOEXIST) return kErrExist;
+  if (flags > BPF_EXIST) return kErrInval;
+  const std::uint32_t index = load_unaligned<std::uint32_t>(key.data());
+  if (index >= max_entries()) return kErrNoEnt;
+  std::memcpy(slot(cpu, index), value.data(), value.size());
+  return kOk;
+}
+
+int PerCpuArrayMap::erase(std::span<const std::uint8_t>) {
+  return kErrInval;  // array entries cannot be deleted (kernel behaviour)
+}
+
+// ---- PerCpuHashMap ----------------------------------------------------------
+
+std::uint8_t* PerCpuHashMap::lookup_cpu(std::span<const std::uint8_t> key,
+                                        std::uint32_t cpu) {
+  if (!key_ok(key) || cpu >= kMaxCpus) return nullptr;
+  auto it = entries_.find(std::vector<std::uint8_t>(key.begin(), key.end()));
+  if (it == entries_.end()) return nullptr;
+  return it->second.get() + static_cast<std::size_t>(cpu) * value_size();
+}
+
+std::uint8_t* PerCpuHashMap::upsert(std::span<const std::uint8_t> key,
+                                    std::uint64_t flags, int& rc) {
+  if (flags > BPF_EXIST) {
+    rc = kErrInval;
+    return nullptr;
+  }
+  std::vector<std::uint8_t> k(key.begin(), key.end());
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    if (flags == BPF_NOEXIST) {
+      rc = kErrExist;
+      return nullptr;
+    }
+    return it->second.get();
+  }
+  if (flags == BPF_EXIST) {
+    rc = kErrNoEnt;
+    return nullptr;
+  }
+  if (entries_.size() >= max_entries()) {
+    rc = kErrNoSpace;
+    return nullptr;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(kMaxCpus) * value_size();
+  auto buf = std::make_unique<std::uint8_t[]>(bytes);
+  std::memset(buf.get(), 0, bytes);  // other CPUs' slots start at zero
+  std::uint8_t* raw = buf.get();
+  entries_.emplace(std::move(k), std::move(buf));
+  return raw;
+}
+
+int PerCpuHashMap::update(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> value,
+                          std::uint64_t flags) {
+  if (!key_ok(key) || !value_ok(value)) return kErrInval;
+  int rc = kOk;
+  std::uint8_t* buf = upsert(key, flags, rc);
+  if (buf == nullptr) return rc;
+  for (std::uint32_t c = 0; c < kMaxCpus; ++c)
+    std::memcpy(buf + static_cast<std::size_t>(c) * value_size(), value.data(),
+                value.size());
+  return kOk;
+}
+
+int PerCpuHashMap::update_cpu(std::span<const std::uint8_t> key,
+                              std::span<const std::uint8_t> value,
+                              std::uint64_t flags, std::uint32_t cpu) {
+  if (!key_ok(key) || !value_ok(value) || cpu >= kMaxCpus) return kErrInval;
+  int rc = kOk;
+  std::uint8_t* buf = upsert(key, flags, rc);
+  if (buf == nullptr) return rc;
+  std::memcpy(buf + static_cast<std::size_t>(cpu) * value_size(), value.data(),
+              value.size());
+  return kOk;
+}
+
+int PerCpuHashMap::erase(std::span<const std::uint8_t> key) {
+  if (!key_ok(key)) return kErrInval;
+  return entries_.erase(std::vector<std::uint8_t>(key.begin(), key.end()))
+             ? kOk
+             : kErrNoEnt;
+}
+
+}  // namespace srv6bpf::ebpf

@@ -3,21 +3,28 @@
 namespace srv6bpf::ebpf {
 
 bool PerfEventBuffer::push(std::uint64_t time_ns,
-                           std::span<const std::uint8_t> data) {
-  if (records_.size() >= capacity_) {
+                           std::span<const std::uint8_t> data,
+                           std::uint32_t cpu) {
+  if (cpu >= kMaxCpus) cpu = kMaxCpus - 1;  // clamp out-of-model producers
+  if (rings_.size() <= cpu) rings_.resize(cpu + 1);
+  auto& ring = rings_[cpu];
+  if (ring.size() >= capacity_) {
     ++dropped_;
     return false;
   }
-  records_.push_back({time_ns, {data.begin(), data.end()}});
+  ring.push_back({time_ns, cpu, {data.begin(), data.end()}});
   ++produced_;
   return true;
 }
 
 std::optional<PerfRecord> PerfEventBuffer::poll() {
-  if (records_.empty()) return std::nullopt;
-  PerfRecord r = std::move(records_.front());
-  records_.pop_front();
-  return r;
+  for (auto& ring : rings_) {  // rings_ is indexed by cpu: merge in id order
+    if (ring.empty()) continue;
+    PerfRecord r = std::move(ring.front());
+    ring.pop_front();
+    return r;
+  }
+  return std::nullopt;
 }
 
 std::uint32_t create_perf_event_array(MapRegistry& reg, const std::string& name,

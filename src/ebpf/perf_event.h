@@ -19,27 +19,43 @@ namespace srv6bpf::ebpf {
 
 struct PerfRecord {
   std::uint64_t time_ns = 0;
+  // CPU context the producing program ran on (ExecEnv::cpu_id) — the
+  // kernel's per-CPU perf ring identity, carried so multi-core monitoring
+  // output stays attributable and reproducible.
+  std::uint32_t cpu = 0;
   std::vector<std::uint8_t> data;
 };
 
+// Models the per-CPU structure of BPF_MAP_TYPE_PERF_EVENT_ARRAY: one bounded
+// ring per CPU context (capacity applies per ring, as each CPU's mmap'd
+// buffer is sized independently in the kernel). poll() merges the rings in a
+// deterministic order — context id first, then the ring's own time order —
+// so a user-space drain pass sees the same record sequence on every run
+// regardless of how contexts interleaved their pushes.
 class PerfEventBuffer {
  public:
   explicit PerfEventBuffer(std::size_t capacity = 4096)
       : capacity_(capacity) {}
 
-  // Returns false (and counts a drop) when the ring is full.
-  bool push(std::uint64_t time_ns, std::span<const std::uint8_t> data);
+  // Returns false (and counts a drop) when `cpu`'s ring is full.
+  bool push(std::uint64_t time_ns, std::span<const std::uint8_t> data,
+            std::uint32_t cpu = 0);
 
-  // Oldest record, or nullopt when empty.
+  // Next record in merge order (lowest non-empty cpu ring, oldest first), or
+  // nullopt when all rings are empty.
   std::optional<PerfRecord> poll();
 
-  std::size_t pending() const noexcept { return records_.size(); }
+  std::size_t pending() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : rings_) n += r.size();
+    return n;
+  }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t produced() const noexcept { return produced_; }
 
  private:
-  std::size_t capacity_;
-  std::deque<PerfRecord> records_;
+  std::size_t capacity_;  // per-CPU ring capacity
+  std::vector<std::deque<PerfRecord>> rings_;  // indexed by cpu, lazily grown
   std::uint64_t dropped_ = 0;
   std::uint64_t produced_ = 0;
 };

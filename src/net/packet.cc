@@ -97,6 +97,7 @@ Packet make_udp_packet(const PacketSpec& spec) {
   // With an SRH the packet is first routed to the first segment in travel
   // order; the final destination sits in segment slot 0.
   ip.dst = with_srh ? spec.segments.front() : spec.dst;
+  ip.flow_label = spec.flow_label & 0xfffffu;
   ip.hop_limit = spec.hop_limit;
   ip.next_header = with_srh ? kProtoRouting : kProtoUdp;
   ip.payload_length = static_cast<std::uint16_t>(srh.size() + udp_len);

@@ -85,6 +85,7 @@ struct PacketSpec {
   Ipv6Addr src;
   Ipv6Addr dst;                   // written into the IPv6 header
   std::uint8_t hop_limit = 64;
+  std::uint32_t flow_label = 0;   // 20 bits; part of the RSS steering tuple
   std::vector<Ipv6Addr> segments; // if non-empty, adds an SRH (travel order);
                                   // IPv6 dst is then segments.back() unless
                                   // dst_override is set

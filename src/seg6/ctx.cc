@@ -65,6 +65,7 @@ Seg6BurstRunner::Seg6BurstRunner(Netns& ns, const ebpf::LoadedProgram& prog)
   env_.user = &ctx_;
   env_.now_ns = [&ns] { return ns.now(); };
   env_.prandom = [&ns] { return ns.prandom(); };
+  env_.cpu_id = ns.current_cpu;
   // Region 0: the ctx struct (read/write; the verifier confines writes to
   // `mark`). Region 1: packet bytes, retargeted per packet by prepare().
   env_.regions.push_back(ebpf::MemRegion{

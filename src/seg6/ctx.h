@@ -7,6 +7,7 @@
 // of links or simulated time (time is injected via the clock callback).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -108,6 +109,19 @@ class Netns {
   std::function<std::uint64_t()> clock;
   std::uint64_t now() const { return clock ? clock() : 0; }
 
+  // CPU context currently executing this netns's datapath. The multi-core
+  // Node sets it around each service event (and restores it after); program
+  // runners snapshot it into ExecEnv::cpu_id, which is what
+  // bpf_get_smp_processor_id and the PERCPU_* map helpers read.
+  std::uint32_t current_cpu = 0;
+
+  // The executing context's one-entry FIB route-cache slot. Every hot-path
+  // route lookup against this netns — the datapath's fib stage, the
+  // bpf_lwt_seg6_action behaviours, End.X nexthop resolution — goes through
+  // the servicing context's slot, so contexts never share cache state
+  // (FibCacheSlot's rationale in seg6/fib.h).
+  FibCacheSlot& fib_cache_slot() noexcept { return fib_slots_[current_cpu]; }
+
   // Deterministic per-netns randomness for bpf_get_prandom_u32.
   std::uint32_t prandom();
   void seed_prandom(std::uint64_t seed);
@@ -130,6 +144,9 @@ class Netns {
   std::unique_ptr<Seg6LocalTable> seg6local_;
   std::set<net::Ipv6Addr> local_addrs_;
   std::uint64_t prandom_state_ = 0x853c49e6748fea9bull;
+  // One slot per possible CPU context (current_cpu is clamped below
+  // ebpf::kMaxCpus by the Node's context setup).
+  std::array<FibCacheSlot, ebpf::kMaxCpus> fib_slots_;
 };
 
 // Amortised SRv6 program executor: builds the SkbCtx + ExecEnv (clock and

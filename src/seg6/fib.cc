@@ -35,20 +35,20 @@ void Fib::add_route(Route route) {
       key, {reinterpret_cast<const std::uint8_t*>(&index), 4}, ebpf::BPF_ANY);
   if (rc != ebpf::kOk) throw std::runtime_error("fib trie insert failed");
   routes_.push_back(std::move(route));
-  cache_valid_ = false;
+  ++gen_;
 }
 
 void Fib::clear() {
   routes_.clear();
   ebpf::MapDef def = trie_->def();
   trie_ = ebpf::make_map(def);
-  cache_valid_ = false;
+  ++gen_;
 }
 
-const Route* Fib::lookup(const net::Ipv6Addr& dst) const {
-  if (cache_valid_ && cached_dst_ == dst) {
+const Route* Fib::lookup(const net::Ipv6Addr& dst, FibCacheSlot& slot) const {
+  if (slot.fib == this && slot.gen == gen_ && slot.dst == dst) {
     ++cache_hits_;
-    return cached_route_;
+    return slot.route;
   }
   std::array<std::uint8_t, 20> key{};
   const std::uint32_t plen = 128;
@@ -61,9 +61,10 @@ const Route* Fib::lookup(const net::Ipv6Addr& dst) const {
     std::memcpy(&index, v, 4);
     route = &routes_[index];
   }
-  cached_dst_ = dst;
-  cached_route_ = route;
-  cache_valid_ = true;
+  slot.fib = this;
+  slot.gen = gen_;
+  slot.dst = dst;
+  slot.route = route;
   return route;
 }
 

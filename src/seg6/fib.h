@@ -48,6 +48,22 @@ struct Route {
   std::shared_ptr<LwtState> lwt;       // optional tunnel state
 };
 
+class Fib;
+
+// One-entry route-cache slot, owned by the *caller* (one per CPU context in
+// the multi-core Node) rather than by the table: a shared per-table cache
+// would be mutable state every context writes on every lookup — exactly the
+// cross-core cache-line contention per-CPU data exists to avoid. A slot is
+// valid only for the table and mutation generation it recorded, so table
+// churn (which may also reallocate the route storage) can never leave a
+// dangling Route* behind.
+struct FibCacheSlot {
+  const Fib* fib = nullptr;
+  std::uint64_t gen = 0;
+  net::Ipv6Addr dst{};
+  const Route* route = nullptr;  // negative results cached as nullptr
+};
+
 class Fib {
  public:
   Fib();
@@ -59,14 +75,20 @@ class Fib {
   }
   void clear();
 
-  // Longest-prefix match; nullptr when no route covers `dst`. Consults a
-  // one-entry dst cache first (a burst of packets to one destination walks
-  // the trie once); the cache is invalidated by any table mutation. A cheap
-  // stand-in until the stride-based LPM fast path lands (ROADMAP).
-  const Route* lookup(const net::Ipv6Addr& dst) const;
+  // Longest-prefix match; nullptr when no route covers `dst`. Consults
+  // `slot` first (a burst of packets to one destination walks the trie
+  // once); a slot is revalidated against this table's mutation generation. A
+  // cheap stand-in until the stride-based LPM fast path lands (ROADMAP).
+  const Route* lookup(const net::Ipv6Addr& dst, FibCacheSlot& slot) const;
+  // Legacy entry point backed by a table-internal slot (single-context
+  // callers: tests, apps, control-plane code).
+  const Route* lookup(const net::Ipv6Addr& dst) const {
+    return lookup(dst, own_slot_);
+  }
 
-  // Observability for benches/tests: how often lookup() was answered by the
-  // one-entry cache.
+  // Observability for benches/tests: how often lookup() was answered by a
+  // one-entry cache slot, summed over every slot (per-context and internal)
+  // that queried this table.
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
 
   // ECMP selection: picks the nexthop for `flow_hash` using weighted
@@ -81,12 +103,13 @@ class Fib {
   std::vector<Route> routes_;
   // prefixlen(u32) + 16 address bytes -> u32 route index.
   std::unique_ptr<ebpf::Map> trie_;
-  // One-entry route cache (negative results included). Mutable: lookup() is
-  // logically const. Invalidated by add_route()/clear(), which also keeps
-  // the cached Route* safe across routes_ reallocation.
-  mutable net::Ipv6Addr cached_dst_;
-  mutable const Route* cached_route_ = nullptr;
-  mutable bool cache_valid_ = false;
+  // Mutation generation: bumped by add_route()/clear(), implicitly
+  // invalidating every FibCacheSlot that recorded an older value (and with
+  // them any Route* into a since-reallocated routes_).
+  std::uint64_t gen_ = 1;
+  // Slot behind the legacy lookup(dst); mutable as lookup() is logically
+  // const.
+  mutable FibCacheSlot own_slot_;
   mutable std::uint64_t cache_hits_ = 0;
 };
 

@@ -119,7 +119,7 @@ std::uint64_t do_seg6_action(ExecEnv& env, std::uint64_t /*skb*/,
     const Fib* fib = ns.find_table(table_id);
     if (fib == nullptr) return err_(kENoEnt);
     net::Ipv6View ip(pkt.data());
-    const Route* route = fib->lookup(ip.dst());
+    const Route* route = fib->lookup(ip.dst(), ns.fib_cache_slot());
     if (route == nullptr || route->nexthops.empty()) return err_(kENoEnt);
     const Nexthop& nh = Fib::select_nexthop(*route, flow_hash(pkt));
     pkt.dst().nexthop = nh.via.is_unspecified() ? ip.dst() : nh.via;
@@ -268,7 +268,7 @@ std::uint64_t do_fib_ecmp(ExecEnv& env, std::uint64_t /*skb*/,
   std::memcpy(dst.bytes().data(), ap, 16);
   const Fib* fib = ctx->netns->find_table(0);
   if (fib == nullptr) return 0;
-  const Route* route = fib->lookup(dst);
+  const Route* route = fib->lookup(dst, ctx->netns->fib_cache_slot());
   if (route == nullptr) return 0;
 
   std::uint64_t count = 0;

@@ -122,7 +122,7 @@ bool seg6_end_x(Netns& ns, net::Packet& pkt, const Nexthop& nh,
     // Resolve the egress interface through the FIB.
     const Fib* fib = ns.find_table(0);
     if (fib == nullptr) return false;
-    const Route* route = fib->lookup(nh.via);
+    const Route* route = fib->lookup(nh.via, ns.fib_cache_slot());
     if (route == nullptr || route->nexthops.empty()) return false;
     oif = Fib::select_nexthop(*route, flow_hash(pkt)).oif;
     if (trace != nullptr) ++trace->fib_lookups;

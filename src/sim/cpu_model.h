@@ -1,7 +1,9 @@
 // Historical name kept for discoverability: the CPU service model lives in
-// Node::Cpu (sim/node.h) — including the per-service-event burst budget
-// (Cpu::rx_burst, default sim::kDefaultRxBurst) — and the cost constants in
-// sim/costmodel.h. The staged burst pipeline itself is sim/datapath.h.
+// Node::Cpu / Node::CpuContext (sim/node.h) — the per-service-event burst
+// budget (Cpu::rx_burst, default sim::kDefaultRxBurst), the RSS context
+// count (Cpu::ncpus) and the per-context scheduling state — and the cost
+// constants in sim/costmodel.h. The staged burst pipeline itself is
+// sim/datapath.h.
 #pragma once
 
 #include "sim/costmodel.h"

@@ -24,7 +24,11 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
   const std::size_t n = b.size();
   Node& node = node_;
   seg6::Netns& ns = node.ns();
-  NodeStats& stats = node.stats;
+  // Everything this run charges lands on the invoking CPU context: its
+  // NodeStats shard (Node::cur() is set by the service event / local-out
+  // entry points before we get here) and, inside the route lookups, the
+  // netns's per-context FIB cache slot selected by Netns::current_cpu.
+  NodeStats& stats = node.cur().stats;
 
   BurstState st;
   // Group scratch: packet/trace/result views over one run of packets that
@@ -180,7 +184,8 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
       }
 
       const seg6::Fib* fib = ns.find_table(table);
-      const seg6::Route* route = fib ? fib->lookup(dst) : nullptr;
+      const seg6::Route* route =
+          fib ? fib->lookup(dst, ns.fib_cache_slot()) : nullptr;
       for (std::size_t k = 0; k < m; ++k) ++gt[k]->fib_lookups;
       if (route == nullptr) {
         for (std::size_t k = 0; k < m; ++k) {

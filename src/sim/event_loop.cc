@@ -4,9 +4,9 @@
 
 namespace srv6bpf::sim {
 
-void EventLoop::schedule_at(TimeNs t, Fn fn) {
+void EventLoop::schedule_at_key(TimeNs t, std::uint32_t key, Fn fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push(Event{t, key, next_seq_++, std::move(fn)});
 }
 
 bool EventLoop::step() {

@@ -33,9 +33,16 @@ class EventLoop {
   TimeNs now() const noexcept { return now_; }
 
   // Schedules `fn` at absolute time `t` (clamped to now()).
-  void schedule_at(TimeNs t, Fn fn);
+  void schedule_at(TimeNs t, Fn fn) { schedule_at_key(t, 0, std::move(fn)); }
   // Schedules `fn` `delay` ns from now.
   void schedule(TimeNs delay, Fn fn) { schedule_at(now_ + delay, std::move(fn)); }
+  // Same-time events execute in ascending `key`, FIFO within a key (plain
+  // schedule_at uses key 0, so existing orderings are untouched). The
+  // multi-core Node keys CPU-context service events by context id: when two
+  // contexts complete at the same instant, their effects apply in a
+  // deterministic context order instead of the order servicing happened to
+  // be scheduled in.
+  void schedule_at_key(TimeNs t, std::uint32_t key, Fn fn);
 
   // Runs a single event; false when the queue is empty.
   bool step();
@@ -51,12 +58,15 @@ class EventLoop {
  private:
   struct Event {
     TimeNs t;
-    std::uint64_t seq;  // FIFO tie-break for same-time events
+    std::uint32_t key;  // same-time ordering class (CPU-context id)
+    std::uint64_t seq;  // FIFO tie-break within (t, key)
     Fn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+      if (a.t != b.t) return a.t > b.t;
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
     }
   };
 

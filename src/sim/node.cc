@@ -1,9 +1,11 @@
 #include "sim/node.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
 
+#include "ebpf/map.h"
 #include "net/checksum.h"
 #include "seg6/lwt.h"
 #include "seg6/seg6local.h"
@@ -20,6 +22,7 @@ Node::Node(EventLoop& loop, Rng& rng, std::string name)
 int Node::add_interface(Link& link, int side, const net::Ipv6Addr& addr) {
   const int ifindex = static_cast<int>(ifaces_.size());
   ifaces_.push_back(Iface{&link, side, addr, {}});
+  ifaces_.back().rx_rings.resize(std::max<std::size_t>(ctxs_.size(), 1));
   link.attach(side, this, ifindex);
   ns_.add_local_addr(addr);
   return ifindex;
@@ -32,14 +35,82 @@ const net::Ipv6Addr& Node::interface_addr(int ifindex) const {
   return ifaces_[static_cast<std::size_t>(ifindex)].addr;
 }
 
+std::vector<Node::CpuContext>& Node::contexts() {
+  const std::size_t want =
+      std::clamp<std::size_t>(cpu.ncpus, 1, ebpf::kMaxCpus);
+  if (ctxs_.size() == want) return ctxs_;
+  // Re-shard only while quiescent: a pending service event holds a context
+  // index, and shrinking the ring vectors would silently discard queued
+  // packets — so an ncpus change during traffic takes effect at the next
+  // idle moment instead (like rewriting a NIC's RSS indirection table).
+  for (const CpuContext& c : ctxs_)
+    if (c.servicing) return ctxs_;
+  for (const Iface& iface : ifaces_)
+    for (const auto& ring : iface.rx_rings)
+      if (!ring.empty()) return ctxs_;
+  // Shrinking retires contexts; their shards fold into the NIC-side base so
+  // the cumulative Node::stats() view never goes backwards.
+  for (std::size_t k = want; k < ctxs_.size(); ++k)
+    nic_stats_ += ctxs_[k].stats;
+  ctxs_.resize(want);
+  for (std::size_t k = 0; k < ctxs_.size(); ++k)
+    ctxs_[k].id = static_cast<std::uint32_t>(k);
+  for (Iface& iface : ifaces_) iface.rx_rings.resize(want);
+  return ctxs_;
+}
+
+NodeStats Node::stats() const {
+  NodeStats total = nic_stats_;
+  for (const CpuContext& ctx : ctxs_) total += ctx.stats;
+  return total;
+}
+
+const NodeStats& Node::cpu_stats(std::size_t k) const {
+  if (k >= ctxs_.size())
+    throw std::out_of_range("cpu_stats: no context " + std::to_string(k) +
+                            " on " + name_);
+  return ctxs_[k].stats;
+}
+
+std::uint32_t Node::rss_hash(const net::Packet& pkt) {
+  // Jenkins one-at-a-time over the outer src, dst and flow label — the
+  // tuple a NIC's RSS indirection hashes before any header the datapath may
+  // rewrite. Per-flow stable by construction.
+  if (pkt.size() < net::kIpv6HeaderSize) return 0;
+  const std::uint8_t* p = pkt.data();
+  std::uint32_t h = 0;
+  auto mix = [&h](const std::uint8_t* d, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h += d[i];
+      h += h << 10;
+      h ^= h >> 6;
+    }
+  };
+  mix(p + 8, 32);  // src (16) + dst (16)
+  const std::uint8_t fl[3] = {static_cast<std::uint8_t>(p[1] & 0x0f), p[2],
+                              p[3]};
+  mix(fl, 3);
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+std::size_t Node::steer(const net::Packet& pkt) const {
+  const std::size_t n = ctxs_.size();
+  return n <= 1 ? 0 : rss_hash(pkt) % n;
+}
+
 void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
+  CpuContext& ctx = contexts()[steer(pkt)];
   Iface& iface = ifaces_[static_cast<std::size_t>(ifindex)];
-  if (iface.rx_ring.size() >= cpu.rx_queue_limit) {
-    ++stats.drops_rx_queue;
+  auto& ring = iface.rx_rings[ctx.id];
+  if (ring.size() >= cpu.rx_queue_limit) {
+    ++nic_stats_.drops_rx_queue;
     return;
   }
-  iface.rx_ring.push_back(std::move(pkt));
-  maybe_schedule_service();
+  ring.push_back(std::move(pkt));
+  maybe_schedule_service(ctx);
 }
 
 void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
@@ -50,7 +121,7 @@ void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
 
 void Node::receive_burst_from_link(net::PacketBurst&& burst, int ifindex) {
   for (std::size_t i = 0; i < burst.size(); ++i) {
-    ++stats.rx_packets;
+    ++nic_stats_.rx_packets;
     net::Packet& p = burst.pkt(i);
     // Each packet keeps its own wire arrival time, not the (coalesced)
     // delivery event's clock.
@@ -66,59 +137,72 @@ void Node::receive_burst_from_link(net::PacketBurst&& burst, int ifindex) {
     enqueue_rx(std::move(burst.pkt(i)), ifindex);
 }
 
-bool Node::rings_empty() const {
+bool Node::rings_empty(const CpuContext& ctx) const {
   for (const Iface& iface : ifaces_)
-    if (!iface.rx_ring.empty()) return false;
+    if (ctx.id < iface.rx_rings.size() && !iface.rx_rings[ctx.id].empty())
+      return false;
   return true;
 }
 
-void Node::maybe_schedule_service() {
-  if (servicing_ || rings_empty()) return;
-  servicing_ = true;
-  const TimeNs start = std::max(loop_.now(), cpu.busy_until);
-  loop_.schedule_at(start, [this] { service_burst(); });
+void Node::maybe_schedule_service(CpuContext& ctx) {
+  if (ctx.servicing || rings_empty(ctx)) return;
+  ctx.servicing = true;
+  const TimeNs start = std::max(loop_.now(), ctx.busy_until);
+  loop_.schedule_at_key(start, ctx.id,
+                        [this, k = ctx.id] { service_burst(ctxs_[k]); });
 }
 
-void Node::service_burst() {
+void Node::service_burst(CpuContext& ctx) {
   net::PacketBurst b;
   const std::size_t budget =
       std::min(cpu.rx_burst > 0 ? cpu.rx_burst : 1, b.capacity());
-  // Round-robin across the interface rings (NAPI's budget rotation in
-  // miniature) so one busy NIC cannot starve the others.
+  // Round-robin across this context's interface rings (NAPI's budget
+  // rotation in miniature) so one busy NIC cannot starve the others.
   const std::size_t nif = ifaces_.size();
   for (std::size_t pass = 0; pass < nif && b.size() < budget; ++pass) {
-    auto& ring = ifaces_[(rr_iface_ + pass) % nif].rx_ring;
+    auto& ring = ifaces_[(ctx.rr_iface + pass) % nif].rx_rings[ctx.id];
     while (!ring.empty() && b.size() < budget) {
       b.push(std::move(ring.front()));
       ring.pop_front();
     }
   }
-  if (nif > 0) rr_iface_ = (rr_iface_ + 1) % nif;
+  if (nif > 0) ctx.rr_iface = (ctx.rr_iface + 1) % nif;
   if (b.empty()) {
-    servicing_ = false;
+    ctx.servicing = false;
     return;
   }
-  ++stats.service_events;
-  stats.serviced_packets += b.size();
+  ++ctx.stats.service_events;
+  ctx.stats.serviced_packets += b.size();
+
+  // Run the datapath on this context: shard accounting via cur_ctx_, CPU
+  // identity to BPF via Netns::current_cpu.
+  CpuContext* prev_ctx = cur_ctx_;
+  const std::uint32_t prev_cpu = ns_.current_cpu;
+  cur_ctx_ = &ctx;
+  ns_.current_cpu = ctx.id;
 
   std::array<seg6::ProcessTrace, net::kMaxBurstPackets> traces;
   datapath_.process_burst(b, /*local_out=*/false, traces.data());
   trace_ = traces[b.size() - 1];
 
   // Per-packet completion times are exactly the sequential model's: packet i
-  // finishes when the CPU has served every packet before it plus itself.
-  TimeNs t = std::max(loop_.now(), cpu.busy_until);
+  // finishes when this core has served every packet before it plus itself.
+  TimeNs t = std::max(loop_.now(), ctx.busy_until);
   for (std::size_t i = 0; i < b.size(); ++i) {
     t += packet_cost_ns(cpu.profile, traces[i]);
     b.meta(i).at_ns = t;
   }
-  cpu.busy_until = t;
+  ctx.busy_until = t;
   dispatch_burst(b);
 
-  if (!rings_empty())
-    loop_.schedule_at(cpu.busy_until, [this] { service_burst(); });
+  cur_ctx_ = prev_ctx;
+  ns_.current_cpu = prev_cpu;
+
+  if (!rings_empty(ctx))
+    loop_.schedule_at_key(ctx.busy_until, ctx.id,
+                          [this, k = ctx.id] { service_burst(ctxs_[k]); });
   else
-    servicing_ = false;
+    ctx.servicing = false;
 }
 
 void Node::send(net::Packet&& pkt) {
@@ -136,15 +220,24 @@ void Node::send_burst(net::PacketBurst&& burst) {
 
 void Node::process_and_dispatch(net::PacketBurst& b, bool local_out) {
   if (b.empty()) return;
+  // Non-service-event work (local sends, non-CPU-modelled forwarding) runs
+  // on whatever context is current — context 0 when none is (re-entrant
+  // ICMP/handler sends stay on the servicing core).
+  CpuContext* prev_ctx = cur_ctx_;
+  if (cur_ctx_ == nullptr) cur_ctx_ = &contexts()[0];
+
   std::array<seg6::ProcessTrace, net::kMaxBurstPackets> traces;
   datapath_.process_burst(b, local_out, traces.data());
   trace_ = traces[b.size() - 1];
   const TimeNs now = loop_.now();
   for (std::size_t i = 0; i < b.size(); ++i) b.meta(i).at_ns = now;
   dispatch_burst(b);
+
+  cur_ctx_ = prev_ctx;
 }
 
 void Node::dispatch_burst(net::PacketBurst& b) {
+  NodeStats& stats = cur().stats;
   const std::size_t n = b.size();
   // Locals and invalid egress first, in packet order.
   for (std::size_t i = 0; i < n; ++i) {
@@ -207,7 +300,7 @@ void Node::send_icmp_time_exceeded(const net::Packet& orig) {
   net::Ipv6Header oh =
       *net::Ipv6Header::parse({orig.data(), orig.size()});
   if (oh.next_header == net::kProtoIcmp6) return;  // never ICMP about ICMP
-  ++stats.icmp_time_exceeded_sent;
+  ++cur().stats.icmp_time_exceeded_sent;
 
   // ICMPv6 Time Exceeded: type 3, code 0, 4 unused bytes, then as much of
   // the invoking packet as fits.

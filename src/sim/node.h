@@ -7,19 +7,29 @@
 // with a bounded RX backlog — exactly how the paper's single-core routers
 // saturate at 610 kpps while the source offers 3 Mpps.
 //
-// Forwarding is burst-oriented: each CPU service event drains up to
-// Cpu::rx_burst packets from the per-interface RX rings (NAPI polling) and
-// runs them through the staged Datapath (sim/datapath.h). The per-packet
-// *charged* CPU cost, the servicing node's completion times and local
-// delivery times follow the sequential model exactly; what burst size may
-// shift is coalescing at the edges — a downstream node sees a burst arrive
-// as one delivery at its last wire arrival (interrupt coalescing, bounded
-// by one burst's serialization time), and a BPF program reading
+// Forwarding is burst-oriented and (optionally) multi-core. The CPU model is
+// `Cpu::ncpus` independent execution contexts (`CpuContext`), each with its
+// own busy_until clock, its own NodeStats shard and its own FIB route-cache
+// slot — the paper pins all IRQs to one core (ncpus = 1, the default, which
+// reproduces its figures bit-for-bit); raising ncpus models how Linux scales
+// the same datapath with RSS. An RSS steering stage hashes each arriving
+// packet's IPv6 flow tuple (src, dst, flow label) to a context, so every
+// flow is serviced by exactly one context and per-flow ordering is
+// structural; each context then drains *its* per-interface RX rings
+// round-robin (NAPI polling per core) up to Cpu::rx_burst packets per
+// service event and runs them through the staged Datapath (sim/datapath.h).
+// While a context runs, Netns::current_cpu carries its id into the eBPF
+// ExecEnv, giving programs bpf_get_smp_processor_id and per-CPU map slots.
+//
+// The per-packet *charged* CPU cost, each context's completion times and
+// local delivery times follow the sequential model exactly; what burst size
+// may shift is coalescing at the edges — a downstream node sees a burst
+// arrive as one delivery at its last wire arrival (interrupt coalescing,
+// bounded by one burst's serialization time), and a BPF program reading
 // bpf_ktime_get_ns sees the service event's clock for the whole burst
 // rather than per-packet staggered clocks. Delivery counts, traces and
-// final stats are burst-invariant (tests/burst_test.cc); bursts amortise
-// the *simulator's* work (events, lookups, BPF program setup), not the
-// modelled router's.
+// final stats are burst-invariant (tests/burst_test.cc) and ncpus=1 runs
+// are bit-identical to the historical single-core path (tests/mc_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -61,14 +71,29 @@ class Node {
   struct Cpu {
     bool enabled = false;  // hosts: off; routers under test: on
     CpuProfile profile = kXeonProfile;
-    std::size_t rx_queue_limit = 512;  // per-interface ring (NIC + softirq)
+    std::size_t rx_queue_limit = 512;  // per (interface, context) RX ring
     // Packets drained per service event (the NAPI poll budget); capped at
     // net::kMaxBurstPackets. Trades simulator efficiency against delivery
     // coalescing granularity; charged costs and counts are burst-invariant.
     std::size_t rx_burst = kDefaultRxBurst;
-    TimeNs busy_until = 0;
+    // RSS execution contexts (cores servicing this node's datapath).
+    // Clamped to [1, ebpf::kMaxCpus]; 1 = the paper's single pinned core.
+    // Set before traffic starts: contexts and their RX rings are sized on
+    // first use.
+    std::size_t ncpus = 1;
   };
   Cpu cpu;
+
+  // One RSS execution context: a core's scheduling state and stats shard.
+  // (Its FIB route-cache slot lives in the Netns, selected by
+  // Netns::current_cpu, so the seg6 helper paths reach it too.)
+  struct CpuContext {
+    std::uint32_t id = 0;
+    TimeNs busy_until = 0;
+    bool servicing = false;
+    std::size_t rr_iface = 0;  // round-robin ring drain cursor
+    NodeStats stats;
+  };
 
   // ---- traffic entry points ----
   // Single-packet arrival: thin wrapper over receive_burst_from_link.
@@ -88,7 +113,17 @@ class Node {
     local_handler_ = std::move(handler);
   }
 
-  NodeStats stats;
+  // ---- stats ----
+  // Aggregated view: NIC/IRQ-side counters plus the sum of every context's
+  // shard. The per-context breakdown is cpu_stats(k).
+  NodeStats stats() const;
+  std::size_t context_count() const noexcept { return ctxs_.size(); }
+  // Shard of context `k`; throws std::out_of_range past context_count().
+  const NodeStats& cpu_stats(std::size_t k) const;
+
+  // RSS steering hash over the outer IPv6 flow tuple (src, dst, flow
+  // label) — exposed so tests and benches can predict context placement.
+  static std::uint32_t rss_hash(const net::Packet& pkt);
 
   // Exposed for tests: the trace of the last packet through the pipeline.
   const seg6::ProcessTrace& last_trace() const noexcept { return trace_; }
@@ -100,19 +135,32 @@ class Node {
     Link* link = nullptr;
     int side = 0;
     net::Ipv6Addr addr;
-    std::deque<net::Packet> rx_ring;  // CPU-model ingress backlog
+    // CPU-model ingress backlog: one RX ring per CPU context (the NIC's RSS
+    // queues), sized with the context vector.
+    std::vector<std::deque<net::Packet>> rx_rings;
   };
 
+  // Sizes ctxs_ (and every interface's ring vector) to the clamped
+  // cpu.ncpus; returns the context vector.
+  std::vector<CpuContext>& contexts();
+  std::size_t steer(const net::Packet& pkt) const;  // RSS: packet -> context
   void enqueue_rx(net::Packet&& pkt, int ifindex);
-  void maybe_schedule_service();
-  void service_burst();
-  bool rings_empty() const;
+  void maybe_schedule_service(CpuContext& ctx);
+  void service_burst(CpuContext& ctx);
+  bool rings_empty(const CpuContext& ctx) const;
   // Non-CPU path: datapath + dispatch at the current time.
   void process_and_dispatch(net::PacketBurst& burst, bool local_out);
   // Delivers verdicts: locals to the handler, forwards grouped per egress
   // interface into Link::transmit_burst at their per-packet timestamps.
   void dispatch_burst(net::PacketBurst& burst);
   void send_icmp_time_exceeded(const net::Packet& orig);
+
+  // Execution-context accounting target. While a context services a burst
+  // (or the non-CPU path runs on context 0) cur_ctx_ points at it; datapath
+  // and dispatch charge cur().stats and use cur().fib_cache. Re-entrant
+  // work (ICMP generation, local handlers that send) stays on the current
+  // context, as it would on a real core.
+  CpuContext& cur() noexcept { return *cur_ctx_; }
 
   EventLoop& loop_;
   Rng& rng_;
@@ -123,8 +171,11 @@ class Node {
   seg6::ProcessTrace trace_;
   Datapath datapath_;
 
-  std::size_t rr_iface_ = 0;  // round-robin ring drain cursor
-  bool servicing_ = false;
+  std::vector<CpuContext> ctxs_;
+  CpuContext* cur_ctx_ = nullptr;
+  // NIC/IRQ-side counters charged before RSS steering picks a context
+  // (rx_packets, ring-overflow drops).
+  NodeStats nic_stats_;
 };
 
 }  // namespace srv6bpf::sim

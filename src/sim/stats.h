@@ -28,6 +28,19 @@ struct PipelineTotals {
 
   friend bool operator==(const PipelineTotals&,
                          const PipelineTotals&) = default;
+
+  PipelineTotals& operator+=(const PipelineTotals& o) {
+    packets += o.packets;
+    seg6local_ops += o.seg6local_ops;
+    fib_lookups += o.fib_lookups;
+    bpf_runs += o.bpf_runs;
+    bpf_insns_jit += o.bpf_insns_jit;
+    bpf_insns_interp += o.bpf_insns_interp;
+    helper_calls += o.helper_calls;
+    encaps += o.encaps;
+    decaps += o.decaps;
+    return *this;
+  }
 };
 
 struct NodeStats {
@@ -51,6 +64,23 @@ struct NodeStats {
   // Folds one packet's ProcessTrace into `pipeline` (defined in stats.cc to
   // keep the seg6 headers out of this one).
   void account(const seg6::ProcessTrace& t);
+
+  // Shard merge: Node::stats() sums its per-CPU-context shards with this.
+  NodeStats& operator+=(const NodeStats& o) {
+    rx_packets += o.rx_packets;
+    tx_packets += o.tx_packets;
+    local_delivered += o.local_delivered;
+    drops_rx_queue += o.drops_rx_queue;
+    drops_no_route += o.drops_no_route;
+    drops_ttl += o.drops_ttl;
+    drops_verdict += o.drops_verdict;
+    drops_malformed += o.drops_malformed;
+    icmp_time_exceeded_sent += o.icmp_time_exceeded_sent;
+    service_events += o.service_events;
+    serviced_packets += o.serviced_packets;
+    pipeline += o.pipeline;
+    return *this;
+  }
 
   std::uint64_t total_drops() const noexcept {
     return drops_rx_queue + drops_no_route + drops_ttl + drops_verdict +

@@ -384,4 +384,30 @@ BuiltProgram build_end_oamp(std::uint32_t perf_map_id) {
   return {a.build(), 60, "End.OAMP (BPF)"};
 }
 
+// ---- Multi-core: per-CPU packet counter -------------------------------------
+// The minimal program the multi-core Node model needs for race-free
+// telemetry: bump this CPU's slot of a PERCPU_ARRAY counter and stamp the
+// servicing context id into skb->mark. With a plain ARRAY map N contexts
+// would interleave read-modify-write on one cell; the per-CPU slot makes the
+// increment private, exactly why BPF_MAP_TYPE_PERCPU_* exists.
+BuiltProgram build_percpu_counter(std::uint32_t cnt_map_id) {
+  Asm a;
+  a.mov64_reg(R6, R1)
+      .call(helper::GET_SMP_PROCESSOR_ID)
+      .stx(BPF_W, R6, R0, ebpf::skb_off::kMark)  // mark = cpu context id
+      .st(BPF_W, R10, -4, 0)                     // key 0
+      .ld_map(R1, cnt_map_id)
+      .mov64_reg(R2, R10)
+      .add64_imm(R2, -4)
+      .call(helper::MAP_LOOKUP_ELEM)             // this CPU's u64 slot
+      .jeq_imm(R0, 0, "out")
+      .ldx(BPF_DW, R1, R0, 0)
+      .add64_imm(R1, 1)
+      .stx(BPF_DW, R0, R1, 0)
+      .label("out")
+      .mov32_imm(R0, static_cast<std::int32_t>(BPF_OK))
+      .exit_();
+  return {a.build(), 15, "per-CPU counter (BPF)"};
+}
+
 }  // namespace srv6bpf::usecases

@@ -127,5 +127,11 @@ BuiltProgram build_end_dm(std::uint32_t perf_map_id);    // seg6local
 BuiltProgram build_end_dm_twd();                         // seg6local
 BuiltProgram build_wrr(std::uint32_t cfg_map_id);        // lwt_xmit
 BuiltProgram build_end_oamp(std::uint32_t perf_map_id);  // seg6local
+// Multi-core observability: counts packets per CPU context in a
+// BPF_MAP_TYPE_PERCPU_ARRAY (slot 0 of `cnt_map_id`, a u64 per CPU) and
+// tags each packet's skb->mark with bpf_get_smp_processor_id() so the
+// servicing context is visible downstream. Race-free across the multi-core
+// Node's contexts by construction — the per-CPU map is the whole point.
+BuiltProgram build_percpu_counter(std::uint32_t cnt_map_id);  // seg6local
 
 }  // namespace srv6bpf::usecases

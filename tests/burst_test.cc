@@ -202,8 +202,8 @@ RunResult run_fig2_scenario(std::size_t burst) {
   RunResult res;
   res.delivered = sink.packets();
   res.delivered_bytes = sink.payload_bytes();
-  res.router = r.stats;
-  res.sink_node = s2.stats;
+  res.router = r.stats();
+  res.sink_node = s2.stats();
   return res;
 }
 
@@ -304,8 +304,8 @@ RunResult run_hybrid_scenario(std::size_t burst) {
   RunResult res;
   res.delivered = sink.packets();
   res.delivered_bytes = sink.payload_bytes();
-  res.router = m.stats;
-  res.sink_node = s2.stats;
+  res.router = m.stats();
+  res.sink_node = s2.stats();
   return res;
 }
 

@@ -224,6 +224,105 @@ TEST(MakeMap, RejectsBadDefs) {
                std::invalid_argument);
   EXPECT_THROW(make_map({MapType::kLpmTrie, 4, 4, 4, "bad"}),
                std::invalid_argument);  // no room for prefix data
+  EXPECT_THROW(make_map({MapType::kPerCpuArray, 8, 8, 4, "bad"}),
+               std::invalid_argument);  // percpu array key must be 4 too
+}
+
+// ---- per-CPU maps -----------------------------------------------------------
+
+TEST(PerCpuArrayMap, SlotsAreIndependentPerCpu) {
+  auto map = make_map({MapType::kPerCpuArray, 4, 8, 4, "pc"});
+  EXPECT_TRUE(map->per_cpu());
+  const std::uint32_t key = 1;
+  // BPF-side update on cpu 3 must not leak into any other cpu's slot.
+  const std::uint64_t v3 = 33;
+  EXPECT_EQ(map->update_cpu({reinterpret_cast<const std::uint8_t*>(&key), 4},
+                            {reinterpret_cast<const std::uint8_t*>(&v3), 8},
+                            BPF_ANY, 3),
+            kOk);
+  for (std::uint32_t c = 0; c < kMaxCpus; ++c) {
+    std::uint64_t got;
+    const std::uint8_t* v = map->find_cpu(key, c);
+    ASSERT_NE(v, nullptr);
+    std::memcpy(&got, v, 8);
+    EXPECT_EQ(got, c == 3 ? 33u : 0u) << "cpu " << c;
+  }
+  // Slots are distinct storage.
+  EXPECT_NE(map->find_cpu(key, 0), map->find_cpu(key, 1));
+  // Plain lookup (user-space convenience) reads cpu 0.
+  EXPECT_EQ(map->find(key), map->find_cpu(key, 0));
+}
+
+TEST(PerCpuArrayMap, UserSpaceUpdateBroadcastsAndSumReads) {
+  auto map = make_map({MapType::kPerCpuArray, 4, 8, 2, "pc"});
+  const std::uint32_t key = 0;
+  const std::uint64_t seed = 5;
+  EXPECT_EQ(map->put(key, seed), kOk);  // syscall-style: every cpu's slot
+  EXPECT_EQ(map->sum_u64(key), 5u * kMaxCpus);
+  const std::uint64_t v1 = 100;
+  map->update_cpu({reinterpret_cast<const std::uint8_t*>(&key), 4},
+                  {reinterpret_cast<const std::uint8_t*>(&v1), 8}, BPF_ANY, 1);
+  EXPECT_EQ(map->sum_u64(key), 5u * (kMaxCpus - 1) + 100u);
+}
+
+TEST(PerCpuArrayMap, BoundsAndFlags) {
+  auto map = make_map({MapType::kPerCpuArray, 4, 8, 2, "pc"});
+  const std::uint32_t bad_key = 2;
+  EXPECT_EQ(map->find_cpu(bad_key, 0), nullptr);
+  const std::uint32_t key = 0;
+  EXPECT_EQ(map->find_cpu(key, kMaxCpus), nullptr);  // cpu out of range
+  const std::uint64_t v = 1;
+  EXPECT_EQ(map->put(key, v, BPF_NOEXIST), kErrExist);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&key), 4}),
+            kErrInval);
+}
+
+TEST(PerCpuHashMap, CreateZeroFillsOtherCpus) {
+  auto map = make_map({MapType::kPerCpuHash, 8, 8, 16, "pch"});
+  EXPECT_TRUE(map->per_cpu());
+  const std::uint64_t key = 0xfeed;
+  EXPECT_EQ(map->find_cpu(key, 0), nullptr);  // absent
+  // First touch from cpu 2 creates the entry: slot 2 has the value, every
+  // other slot starts at zero.
+  const std::uint64_t v = 7;
+  EXPECT_EQ(map->update_cpu({reinterpret_cast<const std::uint8_t*>(&key), 8},
+                            {reinterpret_cast<const std::uint8_t*>(&v), 8},
+                            BPF_ANY, 2),
+            kOk);
+  EXPECT_EQ(map->size(), 1u);
+  for (std::uint32_t c = 0; c < kMaxCpus; ++c) {
+    std::uint64_t got;
+    const std::uint8_t* p = map->find_cpu(key, c);
+    ASSERT_NE(p, nullptr);
+    std::memcpy(&got, p, 8);
+    EXPECT_EQ(got, c == 2 ? 7u : 0u);
+  }
+  EXPECT_EQ(map->sum_u64(key), 7u);
+}
+
+TEST(PerCpuHashMap, FlagsAndErase) {
+  auto map = make_map({MapType::kPerCpuHash, 8, 8, 2, "pch"});
+  const std::uint64_t k1 = 1, k2 = 2, k3 = 3, v = 9;
+  EXPECT_EQ(map->put(k1, v, BPF_EXIST), kErrNoEnt);
+  EXPECT_EQ(map->put(k1, v), kOk);
+  EXPECT_EQ(map->put(k1, v, BPF_NOEXIST), kErrExist);
+  EXPECT_EQ(map->put(k2, v), kOk);
+  EXPECT_EQ(map->put(k3, v), kErrNoSpace);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&k1), 8}), kOk);
+  EXPECT_EQ(map->erase({reinterpret_cast<const std::uint8_t*>(&k1), 8}),
+            kErrNoEnt);
+  // User-space put broadcast: sum reads kMaxCpus copies.
+  EXPECT_EQ(map->sum_u64(k2), 9u * kMaxCpus);
+}
+
+TEST(PerfEventBuffer, RecordsCarryCpuField) {
+  PerfEventBuffer buf(4);
+  const std::uint8_t a[] = {1};
+  EXPECT_TRUE(buf.push(100, a, 3));
+  auto r = buf.poll();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cpu, 3u);
+  EXPECT_EQ(r->time_ns, 100u);
 }
 
 }  // namespace

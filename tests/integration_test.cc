@@ -51,8 +51,8 @@ TEST(Integration, PlainIpv6Forwarding) {
   net.run_for(10 * sim::kMilli);
 
   EXPECT_EQ(sink.packets(), 1u);
-  EXPECT_EQ(r.stats.rx_packets, 1u);
-  EXPECT_EQ(r.stats.tx_packets, 1u);
+  EXPECT_EQ(r.stats().rx_packets, 1u);
+  EXPECT_EQ(r.stats().tx_packets, 1u);
 }
 
 // ---- SRv6 End behaviour across the line ----------------------------------------

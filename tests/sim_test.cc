@@ -175,7 +175,7 @@ TEST(Node, ForwardsAndDecrementsHopLimit) {
   line.a->send(line.udp(64));
   line.net.run_for(10 * kMilli);
   EXPECT_EQ(seen_hl, 63);
-  EXPECT_EQ(line.r->stats.tx_packets, 1u);
+  EXPECT_EQ(line.r->stats().tx_packets, 1u);
 }
 
 TEST(Node, PropagationDelayIsApplied) {
@@ -198,8 +198,8 @@ TEST(Node, HopLimitExpiryDropsAndSendsIcmp) {
   });
   line.a->send(line.udp(/*hop_limit=*/1));
   line.net.run_for(10 * kMilli);
-  EXPECT_EQ(line.r->stats.drops_ttl, 1u);
-  EXPECT_EQ(line.r->stats.icmp_time_exceeded_sent, 1u);
+  EXPECT_EQ(line.r->stats().drops_ttl, 1u);
+  EXPECT_EQ(line.r->stats().icmp_time_exceeded_sent, 1u);
   EXPECT_TRUE(got_icmp) << "ICMPv6 time exceeded must reach the source";
 }
 
@@ -212,7 +212,7 @@ TEST(Node, NoRouteDrops) {
   line.a->send(std::move(p));  // A has default; R drops (no route for dead::)
   line.net.run_for(10 * kMilli);
   // R has no ::/0 so it drops.
-  EXPECT_EQ(line.r->stats.drops_no_route, 1u);
+  EXPECT_EQ(line.r->stats().drops_no_route, 1u);
 }
 
 TEST(Node, CpuModelCapsForwardingRate) {
@@ -234,7 +234,7 @@ TEST(Node, CpuModelCapsForwardingRate) {
   line.net.run_for(60 * kMilli);
   // 50 ms of offered load at ~610 kpps service rate ≈ 30.5k packets, plus
   // the drained backlog and the post-offer service tail.
-  EXPECT_GT(line.r->stats.drops_rx_queue, 0u) << "overload must tail-drop";
+  EXPECT_GT(line.r->stats().drops_rx_queue, 0u) << "overload must tail-drop";
   EXPECT_NEAR(static_cast<double>(received), 32'000.0, 3'000.0);
 }
 
@@ -261,9 +261,9 @@ TEST(Node, EcmpSplitsFlowsAcrossNexthops) {
     a.send(net::make_udp_packet(spec));
   }
   net.run_for(10 * kMilli);
-  EXPECT_GT(r1.stats.rx_packets, 10u);
-  EXPECT_GT(r2.stats.rx_packets, 10u);
-  EXPECT_EQ(r1.stats.rx_packets + r2.stats.rx_packets, 64u);
+  EXPECT_GT(r1.stats().rx_packets, 10u);
+  EXPECT_GT(r2.stats().rx_packets, 10u);
+  EXPECT_EQ(r1.stats().rx_packets + r2.stats().rx_packets, 64u);
 }
 
 }  // namespace
