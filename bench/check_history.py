@@ -4,13 +4,16 @@
 Usage: check_history.py [--strict] [--baseline PATH] JSON...
 
 Each JSON argument is matched to a baseline entry by its basename
-(BENCH_vm.json, BENCH_burst.json, BENCH_mc.json); unknown or missing files
-are skipped with a note so partial runs stay usable.
+(BENCH_vm.json, BENCH_burst.json, BENCH_mc.json, BENCH_lpm.json); unknown or
+missing files are skipped with a note so partial runs stay usable. Metric
+names may be dotted paths into nested objects (e.g. "fig2_fib48.sim_kpps").
 
 Exit status is non-zero when any *simulated*-time floor (deterministic on
 every host) is violated, or — with --strict — when any wall-clock floor is.
 Wall-clock violations without --strict only warn: CI smoke runs use --quick
 measurement windows on shared runners, where wall-based ratios are noise.
+(BENCH_lpm.json's speedup_fib48 is additionally self-gated by the
+bench_lpm_sweep binary itself, which exits non-zero below its floor.)
 """
 import argparse
 import json
@@ -28,8 +31,18 @@ def warn(msg):
     return 0
 
 
+def get_metric(data, metric):
+    """Resolves 'a.b.c' through nested dicts; None when any step is absent."""
+    node = data
+    for part in metric.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
 def check_floor(data, name, metric, floor, on_violation):
-    value = data.get(metric)
+    value = get_metric(data, metric)
     if value is None:
         return fail(f"{name}: metric '{metric}' missing")
     if value < floor:
@@ -77,7 +90,8 @@ def main():
         sim_floors = base.get("sim", {}).get(name, {})
         sim_evaluated = 0
         for metric, floor in sim_floors.items():
-            if metric in data:  # smoke runs may omit e.g. the 4-cpu row
+            if get_metric(data, metric) is not None:
+                # smoke runs may omit e.g. the 4-cpu row
                 rc |= check_floor(data, name, metric, floor, fail)
                 sim_evaluated += 1
         # A present file with sim floors must have evaluated at least one of

@@ -8,7 +8,8 @@ namespace srv6bpf::apps {
 
 TrafGen::TrafGen(sim::Node& node, Config cfg)
     : node_(node), cfg_(cfg), t_template_(net::make_udp_packet(cfg.spec)),
-      interval_ns_(static_cast<sim::TimeNs>(1e9 / cfg.pps)) {
+      interval_ns_(static_cast<sim::TimeNs>(1e9 / cfg.pps)),
+      dst_site_base_(load_be16(t_template_.data() + 24 + 4)) {
   if (interval_ns_ == 0) interval_ns_ = 1;
 }
 
@@ -17,6 +18,23 @@ void TrafGen::start() {
   next_send_ = cfg_.start_at;
   node_.loop().schedule_at(cfg_.start_at, [this] { tick(); });
 }
+
+namespace {
+
+// RFC 1624 incremental checksum update for one rewritten be16 word:
+// HC' = ~(~HC + ~m + m'). `ck` points at the stored transport checksum.
+void fixup_checksum(std::uint8_t* ck, std::uint16_t old_word,
+                    std::uint16_t new_word) {
+  std::uint32_t sum = static_cast<std::uint16_t>(~load_be16(ck));
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  std::uint16_t out = static_cast<std::uint16_t>(~sum);
+  if (out == 0) out = 0xffff;  // UDP: zero means "no checksum"
+  store_be16(ck, out);
+}
+
+}  // namespace
 
 net::Packet TrafGen::next_packet() {
   net::Packet pkt = t_template_;  // copy the prebuilt frame
@@ -31,13 +49,34 @@ net::Packet TrafGen::next_packet() {
     p[2] = static_cast<std::uint8_t>((fl >> 8) & 0xff);
     p[3] = static_cast<std::uint8_t>(fl & 0xff);
   }
+  if (cfg_.dst_spread > 1) {
+    // Rotate a site counter through dst bytes 4-5 (offset 24 + 4 in the
+    // fixed header): each value lands in a different /48.
+    std::uint8_t* w = pkt.data() + 24 + 4;
+    const std::uint16_t old_word = load_be16(w);
+    const std::uint16_t new_word = static_cast<std::uint16_t>(
+        dst_site_base_ + sent_ % cfg_.dst_spread);
+    store_be16(w, new_word);
+    if (cfg_.spec.segments.empty() && cfg_.spec.fill_checksum) {
+      // The rewritten dst is the transport final destination, so it is in
+      // the pseudo-header: fix the UDP checksum incrementally.
+      if (const auto loc = net::locate_transport(pkt);
+          loc && loc->proto == net::kProtoUdp)
+        fixup_checksum(pkt.data() + loc->offset + 6, old_word, new_word);
+    }
+  }
   if (cfg_.src_port_spread > 1) {
     // Rotate the UDP source port in place (offset depends on SRH presence).
     const auto loc = net::locate_transport(pkt);
     if (loc && loc->proto == net::kProtoUdp) {
+      std::uint8_t* pp = pkt.data() + loc->offset;
+      const std::uint16_t old_port = load_be16(pp);
       const std::uint16_t port = static_cast<std::uint16_t>(
           cfg_.spec.src_port + sent_ % cfg_.src_port_spread);
-      store_be16(pkt.data() + loc->offset, port);
+      store_be16(pp, port);
+      // The port is inside the checksummed UDP header (SRH or not).
+      if (cfg_.spec.fill_checksum)
+        fixup_checksum(pp + 6, old_port, port);
     }
   }
   ++sent_;

@@ -27,6 +27,16 @@ class TrafGen {
     // generator's traffic over a router's CPU contexts. Packets cycle
     // labels spec.flow_label .. spec.flow_label + spread - 1.
     std::uint32_t flow_label_spread = 1;
+    // Vary the outer IPv6 *destination* across packets: a 16-bit counter is
+    // cycled through address bytes 4-5 (the third group), so consecutive
+    // packets hit `dst_spread` different /48 sites — multi-destination
+    // traffic that defeats any one-entry route cache and drives the router's
+    // FIB trie on every burst group (bench/lpm_sweep's end-to-end knob).
+    // When the packet carries no SRH the UDP checksum is incrementally
+    // fixed up (the final destination is in the pseudo-header); with an SRH
+    // the outer dst is the first segment and needs no fixup — but rotating
+    // it would dodge the SID table, so combine the two with care.
+    std::uint32_t dst_spread = 1;
     // Packets emitted per tick through Node::send_burst (capped at
     // net::kMaxBurstPackets). 1 = one event per packet, exact pps spacing;
     // >1 trades intra-burst arrival spacing (packets leave back-to-back at
@@ -48,6 +58,7 @@ class TrafGen {
   Config cfg_;
   net::Packet t_template_;
   sim::TimeNs interval_ns_;
+  std::uint16_t dst_site_base_ = 0;  // template dst bytes 4-5 (dst_spread)
   sim::TimeNs stop_at_ = 0;
   std::uint64_t sent_ = 0;
   sim::TimeNs next_send_ = 0;

@@ -3,6 +3,13 @@
 // src/apps). Mirrors the kernel map model: fixed key/value sizes declared at
 // creation, lookups return stable pointers into the map's storage, updates
 // copy the caller's buffer in.
+//
+// Thread/context model: maps are not synchronized — the simulator is
+// single-threaded, and the multi-core Node's CpuContexts interleave on the
+// event loop rather than race. Cross-context isolation is data layout, not
+// locking: per-CPU map types give each context its own value slot (the
+// lookup_cpu/update_cpu family below), everything else is shared state
+// exactly as in the kernel.
 #pragma once
 
 #include <cstdint>
@@ -61,16 +68,23 @@ class Map {
   std::uint32_t max_entries() const noexcept { return def_.max_entries; }
 
   // Returns a pointer to the stored value (stable until the entry is deleted
-  // or the map destroyed), or nullptr if the key is absent. The eBPF verifier
-  // forces programs to null-check this before dereferencing.
+  // or the map destroyed — BPF programs hold these across helper calls), or
+  // nullptr if the key is absent. The eBPF verifier forces programs to
+  // null-check this before dereferencing. Key interpretation and cost are
+  // per-type: array O(1) index, hash O(log n) ordered-map walk (kept ordered
+  // for deterministic dumps), LPM trie O(key bytes) node hops through the
+  // multibit-stride engine (util/lpm_trie.h) with longest-prefix-match
+  // semantics (the caller's prefixlen field is ignored on lookup).
   virtual std::uint8_t* lookup(std::span<const std::uint8_t> key) = 0;
 
-  // Copies `value` in. Returns 0 or a negative errno.
+  // Copies `value` in, honouring BPF_ANY/BPF_NOEXIST/BPF_EXIST. Returns 0 or
+  // a negative errno (kErr*). Existing entries are updated in place, so
+  // previously returned lookup pointers observe the new bytes.
   virtual int update(std::span<const std::uint8_t> key,
                      std::span<const std::uint8_t> value,
                      std::uint64_t flags) = 0;
 
-  // Returns 0 or -ENOENT.
+  // Returns 0 or -ENOENT (-EINVAL for arrays, whose entries cannot die).
   virtual int erase(std::span<const std::uint8_t> key) = 0;
 
   // Number of live entries (arrays always report max_entries).

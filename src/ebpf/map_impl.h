@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ebpf/map.h"
+#include "util/lpm_trie.h"
 
 namespace srv6bpf::ebpf {
 
@@ -118,30 +119,28 @@ class PerCpuHashMap final : public Map {
 // BPF_MAP_TYPE_LPM_TRIE: longest-prefix-match over big-endian bit strings.
 // Key layout matches struct bpf_lpm_trie_key: a host-endian u32 prefix length
 // followed by (key_size - 4) data bytes, most significant bit first.
+//
+// Backed by the shared multibit-stride engine (util/lpm_trie.h): lookups
+// descend one node per key *byte* instead of one per bit, which is the
+// "LPM fast path" ROADMAP item — BPF programs and the seg6 FIB share the
+// same engine. Values are individually heap-allocated buffers so lookup
+// pointers keep the kernel-style stability guarantee across inserts.
 class LpmTrieMap final : public Map {
  public:
   explicit LpmTrieMap(const MapDef& def)
-      : Map(def), max_prefixlen_((def.key_size - 4) * 8) {}
+      : Map(def),
+        max_prefixlen_((def.key_size - 4) * 8),
+        trie_(def.key_size - 4) {}
 
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
   int update(std::span<const std::uint8_t> key,
              std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
-  std::size_t size() const override { return entry_count_; }
+  std::size_t size() const override { return trie_.size(); }
 
  private:
-  struct Node {
-    std::unique_ptr<Node> child[2];
-    std::unique_ptr<std::uint8_t[]> value;  // null for intermediate nodes
-  };
-
-  static int bit_at(std::span<const std::uint8_t> data, std::uint32_t i) {
-    return (data[i / 8] >> (7 - i % 8)) & 1;
-  }
-
   std::uint32_t max_prefixlen_;
-  Node root_;
-  std::size_t entry_count_ = 0;
+  util::LpmTrie<std::unique_ptr<std::uint8_t[]>> trie_;
 };
 
 }  // namespace srv6bpf::ebpf

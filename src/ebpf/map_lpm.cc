@@ -9,15 +9,8 @@ std::uint8_t* LpmTrieMap::lookup(std::span<const std::uint8_t> key) {
   if (!key_ok(key)) return nullptr;
   // Lookups ignore the caller's prefixlen and match the full key, returning
   // the most specific stored prefix (kernel semantics).
-  const std::span<const std::uint8_t> data = key.subspan(4);
-  Node* node = &root_;
-  std::uint8_t* best = root_.value.get();
-  for (std::uint32_t i = 0; i < max_prefixlen_; ++i) {
-    node = node->child[bit_at(data, i)].get();
-    if (node == nullptr) break;
-    if (node->value) best = node->value.get();
-  }
-  return best;
+  const auto* v = trie_.lookup(key.data() + 4);
+  return v ? v->get() : nullptr;
 }
 
 int LpmTrieMap::update(std::span<const std::uint8_t> key,
@@ -27,24 +20,19 @@ int LpmTrieMap::update(std::span<const std::uint8_t> key,
   if (flags > BPF_EXIST) return kErrInval;
   const std::uint32_t prefixlen = load_unaligned<std::uint32_t>(key.data());
   if (prefixlen > max_prefixlen_) return kErrInval;
-  const std::span<const std::uint8_t> data = key.subspan(4);
+  const std::uint8_t* data = key.data() + 4;
 
-  Node* node = &root_;
-  for (std::uint32_t i = 0; i < prefixlen; ++i) {
-    auto& child = node->child[bit_at(data, i)];
-    if (!child) child = std::make_unique<Node>();
-    node = child.get();
-  }
-  if (node->value) {
+  if (auto* existing = trie_.find_exact(data, prefixlen)) {
     if (flags == BPF_NOEXIST) return kErrExist;
-    std::memcpy(node->value.get(), value.data(), value.size());
+    std::memcpy(existing->get(), value.data(), value.size());
     return kOk;
   }
   if (flags == BPF_EXIST) return kErrNoEnt;
-  if (entry_count_ >= max_entries()) return kErrNoSpace;
-  node->value = std::make_unique<std::uint8_t[]>(value_size());
-  std::memcpy(node->value.get(), value.data(), value.size());
-  ++entry_count_;
+  if (trie_.size() >= max_entries()) return kErrNoSpace;
+  bool created = false;
+  auto* buf = trie_.find_or_insert(data, prefixlen, created);
+  *buf = std::make_unique<std::uint8_t[]>(value_size());
+  std::memcpy(buf->get(), value.data(), value.size());
   return kOk;
 }
 
@@ -52,14 +40,7 @@ int LpmTrieMap::erase(std::span<const std::uint8_t> key) {
   if (!key_ok(key)) return kErrInval;
   const std::uint32_t prefixlen = load_unaligned<std::uint32_t>(key.data());
   if (prefixlen > max_prefixlen_) return kErrInval;
-  const std::span<const std::uint8_t> data = key.subspan(4);
-  Node* node = &root_;
-  for (std::uint32_t i = 0; i < prefixlen && node; ++i)
-    node = node->child[bit_at(data, i)].get();
-  if (node == nullptr || !node->value) return kErrNoEnt;
-  node->value.reset();
-  --entry_count_;
-  return kOk;
+  return trie_.erase(key.data() + 4, prefixlen) ? kOk : kErrNoEnt;
 }
 
 }  // namespace srv6bpf::ebpf

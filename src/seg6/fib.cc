@@ -3,22 +3,11 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "ebpf/map.h"
 #include "net/srh.h"
 #include "net/transport.h"
 #include "util/byteorder.h"
 
 namespace srv6bpf::seg6 {
-
-Fib::Fib() {
-  ebpf::MapDef def;
-  def.type = ebpf::MapType::kLpmTrie;
-  def.key_size = 4 + 16;
-  def.value_size = 4;
-  def.max_entries = 1 << 16;
-  def.name = "fib";
-  trie_ = ebpf::make_map(def);
-}
 
 void Fib::add_route(Route route) {
   if (route.nexthops.empty() && !route.lwt)
@@ -27,21 +16,21 @@ void Fib::add_route(Route route) {
     if (nh.weight <= 0) throw std::invalid_argument("nexthop weight must be > 0");
 
   const std::uint32_t index = static_cast<std::uint32_t>(routes_.size());
-  std::array<std::uint8_t, 20> key{};
-  const std::uint32_t plen = static_cast<std::uint32_t>(route.prefix.len);
-  std::memcpy(key.data(), &plen, 4);
-  std::memcpy(key.data() + 4, route.prefix.addr.bytes().data(), 16);
-  const int rc = trie_->update(
-      key, {reinterpret_cast<const std::uint8_t*>(&index), 4}, ebpf::BPF_ANY);
-  if (rc != ebpf::kOk) throw std::runtime_error("fib trie insert failed");
+  bool created = false;
+  std::uint32_t* slot = trie_.find_or_insert(
+      route.prefix.addr.bytes().data(),
+      static_cast<std::uint32_t>(route.prefix.len), created);
+  // Re-adding an existing prefix replaces it (BPF_ANY semantics): the trie
+  // points at the new route, the superseded Route stays in routes_ only so
+  // earlier indices keep their meaning.
+  *slot = index;
   routes_.push_back(std::move(route));
   ++gen_;
 }
 
 void Fib::clear() {
   routes_.clear();
-  ebpf::MapDef def = trie_->def();
-  trie_ = ebpf::make_map(def);
+  trie_.clear();
   ++gen_;
 }
 
@@ -50,17 +39,8 @@ const Route* Fib::lookup(const net::Ipv6Addr& dst, FibCacheSlot& slot) const {
     ++cache_hits_;
     return slot.route;
   }
-  std::array<std::uint8_t, 20> key{};
-  const std::uint32_t plen = 128;
-  std::memcpy(key.data(), &plen, 4);
-  std::memcpy(key.data() + 4, dst.bytes().data(), 16);
-  const std::uint8_t* v = trie_->lookup(key);
-  const Route* route = nullptr;
-  if (v != nullptr) {
-    std::uint32_t index;
-    std::memcpy(&index, v, 4);
-    route = &routes_[index];
-  }
+  const std::uint32_t* v = trie_.lookup(dst.bytes().data());
+  const Route* route = v != nullptr ? &routes_[*v] : nullptr;
   slot.fib = this;
   slot.gen = gen_;
   slot.dst = dst;

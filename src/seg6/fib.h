@@ -1,9 +1,11 @@
 // IPv6 forwarding information base with ECMP, per routing table.
 //
-// Longest-prefix-match is backed by the same binary-trie implementation the
-// eBPF LPM map uses (ebpf/map_impl.h), storing route indices as values.
-// Nexthop selection for multipath routes uses a 5-tuple flow hash, like the
-// kernel's flowlabel/5-tuple ECMP (§4.3's End.OAMP queries these nexthops).
+// Longest-prefix-match is backed by the shared multibit-stride trie engine
+// (util/lpm_trie.h) — the same engine behind BPF_MAP_TYPE_LPM_TRIE — storing
+// route indices as values: a /48 lookup is 6 byte-indexed node hops instead
+// of 48 bit tests (bench/lpm_sweep.cc tracks the ratio). Nexthop selection
+// for multipath routes uses a 5-tuple flow hash, like the kernel's
+// flowlabel/5-tuple ECMP (§4.3's End.OAMP queries these nexthops).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include "ebpf/vm.h"
 #include "net/ip6.h"
 #include "net/packet.h"
+#include "util/lpm_trie.h"
 
 namespace srv6bpf::seg6 {
 
@@ -57,6 +60,11 @@ class Fib;
 // valid only for the table and mutation generation it recorded, so table
 // churn (which may also reallocate the route storage) can never leave a
 // dangling Route* behind.
+//
+// The slot is a layer *above* the stride trie, not a substitute for it: it
+// short-circuits the repeated-destination case (a burst run-grouped on one
+// dst pays one trie walk), while the trie keeps multi-destination traffic —
+// which defeats any one-entry cache — at O(key bytes) per miss.
 struct FibCacheSlot {
   const Fib* fib = nullptr;
   std::uint64_t gen = 0;
@@ -66,8 +74,6 @@ struct FibCacheSlot {
 
 class Fib {
  public:
-  Fib();
-
   void add_route(Route route);
   // Convenience: single-nexthop route.
   void add_route(const net::Prefix& prefix, const Nexthop& nh) {
@@ -77,8 +83,10 @@ class Fib {
 
   // Longest-prefix match; nullptr when no route covers `dst`. Consults
   // `slot` first (a burst of packets to one destination walks the trie
-  // once); a slot is revalidated against this table's mutation generation. A
-  // cheap stand-in until the stride-based LPM fast path lands (ROADMAP).
+  // once); a slot is revalidated against this table's mutation generation.
+  // On a slot miss the cost is the stride trie's: at most 16 byte-indexed
+  // node hops, typically ceil(prefixlen/8) + 1. The returned Route* is valid
+  // until the next table mutation (add_route/clear).
   const Route* lookup(const net::Ipv6Addr& dst, FibCacheSlot& slot) const;
   // Legacy entry point backed by a table-internal slot (single-context
   // callers: tests, apps, control-plane code).
@@ -101,8 +109,8 @@ class Fib {
 
  private:
   std::vector<Route> routes_;
-  // prefixlen(u32) + 16 address bytes -> u32 route index.
-  std::unique_ptr<ebpf::Map> trie_;
+  // 16 address bytes + prefixlen -> u32 route index, stride-8 LPM engine.
+  util::LpmTrie<std::uint32_t> trie_{16};
   // Mutation generation: bumped by add_route()/clear(), implicitly
   // invalidating every FibCacheSlot that recorded an older value (and with
   // them any Route* into a since-reallocated routes_).

@@ -8,8 +8,10 @@
 //   seg6local  — grouped behaviour execution (seg6local_process_burst): one
 //                SID-table hit and, for End.BPF, one ExecEnv/engine setup
 //                per group;
-//   lwt + fib  — disposition rounds: route lookups through the per-table
-//                one-entry cache, route-attached tunnels via
+//   lwt + fib  — disposition rounds: route lookups per (dst, table) group
+//                through the servicing context's one-entry FibCacheSlot,
+//                backed by the multibit-stride LPM trie on miss
+//                (util/lpm_trie.h), route-attached tunnels via
 //                lwt_process_burst (BPF program setup paid once per route
 //                group), ECMP nexthop selection per packet;
 //   tx-prep    — hop-limit handling and per-packet verdict/oif metadata;

@@ -1,0 +1,174 @@
+#include "util/lpm_trie.h"
+
+namespace srv6bpf::util::detail {
+
+namespace {
+
+// Terminal position of a prefix: node depth (full bytes walked) and the
+// significant bit count within that node's byte. plen 0 terminates at the
+// root with bits 0 (covers everything); otherwise bits is 1..8.
+struct Terminal {
+  std::uint32_t depth;
+  std::uint8_t bits;
+};
+
+Terminal terminal_of(std::uint32_t plen) noexcept {
+  if (plen == 0) return {0, 0};
+  return {(plen - 1) / 8, static_cast<std::uint8_t>(plen - ((plen - 1) / 8) * 8)};
+}
+
+// High-`bits` mask of a byte (bits = 0 -> 0, masking the byte away).
+std::uint8_t high_mask(std::uint8_t bits) noexcept {
+  return bits == 0 ? 0 : static_cast<std::uint8_t>(0xff << (8 - bits));
+}
+
+}  // namespace
+
+LpmCore::LpmCore(std::uint32_t key_bytes)
+    : key_bytes_(key_bytes), root_(std::make_unique<Node>()) {}
+
+LpmCore::~LpmCore() = default;
+
+LpmCore::Node* LpmCore::walk(const std::uint8_t* key, std::uint32_t plen,
+                             bool create, std::uint8_t* byte,
+                             std::uint8_t* bits) const {
+  const Terminal t = terminal_of(plen);
+  *bits = t.bits;
+  *byte = t.bits == 0 ? 0
+                      : static_cast<std::uint8_t>(key[t.depth] &
+                                                  high_mask(t.bits));
+  Node* node = root_.get();
+  for (std::uint32_t d = 0; d < t.depth; ++d) {
+    auto& child = node->child[key[d]];
+    if (!child) {
+      if (!create) return nullptr;
+      child = std::make_unique<Node>();
+      ++const_cast<LpmCore*>(this)->node_count_;
+    }
+    node = child.get();
+  }
+  return node;
+}
+
+LpmCore::Ref LpmCore::insert(const std::uint8_t* key, std::uint32_t plen) {
+  std::uint8_t byte, bits;
+  Node* node = walk(key, plen, /*create=*/true, &byte, &bits);
+  for (const Local& l : node->local)
+    if (l.byte == byte && l.bits == bits) return {l.id, false};
+
+  std::uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = next_id_++;
+  }
+  node->local.push_back({byte, bits, id});
+  ++size_;
+
+  // Prefix expansion: fan the new prefix out over the slots it covers,
+  // longest local prefix winning per slot. Distinct same-length prefixes
+  // cover disjoint ranges, so `bits` comparisons never tie.
+  const std::uint32_t span = 1u << (8 - bits);
+  for (std::uint32_t s = byte; s < static_cast<std::uint32_t>(byte) + span;
+       ++s) {
+    if (node->slot_id[s] == kNoEntry || node->slot_bits[s] < bits) {
+      node->slot_id[s] = id;
+      node->slot_bits[s] = bits;
+    }
+  }
+  return {id, true};
+}
+
+std::uint32_t LpmCore::find_exact(const std::uint8_t* key,
+                                  std::uint32_t plen) const {
+  std::uint8_t byte, bits;
+  const Node* node = walk(key, plen, /*create=*/false, &byte, &bits);
+  if (node == nullptr) return kNoEntry;
+  for (const Local& l : node->local)
+    if (l.byte == byte && l.bits == bits) return l.id;
+  return kNoEntry;
+}
+
+std::uint32_t LpmCore::erase(const std::uint8_t* key, std::uint32_t plen) {
+  // One descent, recording the path for pruning: path[d] is the depth-d
+  // node, reached from path[d-1] via key[d-1].
+  const Terminal t = terminal_of(plen);
+  const std::uint8_t bits = t.bits;
+  const std::uint8_t byte =
+      bits == 0 ? 0
+                : static_cast<std::uint8_t>(key[t.depth] & high_mask(bits));
+  std::vector<Node*> path(t.depth + 1);
+  path[0] = root_.get();
+  for (std::uint32_t d = 0; d < t.depth; ++d) {
+    path[d + 1] = path[d]->child[key[d]].get();
+    if (path[d + 1] == nullptr) return kNoEntry;
+  }
+  Node* node = path[t.depth];
+  std::uint32_t id = kNoEntry;
+  for (std::size_t i = 0; i < node->local.size(); ++i) {
+    if (node->local[i].byte == byte && node->local[i].bits == bits) {
+      id = node->local[i].id;
+      node->local[i] = node->local.back();
+      node->local.pop_back();
+      break;
+    }
+  }
+  if (id == kNoEntry) return kNoEntry;
+  free_ids_.push_back(id);
+  --size_;
+
+  // Un-expand: recompute the erased prefix's slots from the node's
+  // remaining local prefixes (the next-longest cover, or empty).
+  const std::uint32_t span = 1u << (8 - bits);
+  for (std::uint32_t s = byte; s < static_cast<std::uint32_t>(byte) + span;
+       ++s) {
+    const Local* best = nullptr;
+    for (const Local& l : node->local)
+      if (covers(l, static_cast<std::uint8_t>(s)) &&
+          (best == nullptr || l.bits > best->bits))
+        best = &l;
+    node->slot_id[s] = best ? best->id : kNoEntry;
+    node->slot_bits[s] = best ? best->bits : 0;
+  }
+
+  // Prune: a node with no local prefixes and no children contributes
+  // nothing — free it and walk up (each stride node is ~3.3 KB, so erase
+  // churn must not accrete them). The root always stays.
+  for (std::uint32_t d = t.depth; d > 0; --d) {
+    Node* n = path[d];
+    if (!n->local.empty()) break;
+    bool has_child = false;
+    for (const auto& c : n->child)
+      if (c) {
+        has_child = true;
+        break;
+      }
+    if (has_child) break;
+    path[d - 1]->child[key[d - 1]].reset();
+    --node_count_;
+  }
+  return id;
+}
+
+std::uint32_t LpmCore::lookup(const std::uint8_t* key) const {
+  const Node* node = root_.get();
+  std::uint32_t best = kNoEntry;
+  for (std::uint32_t d = 0; d < key_bytes_; ++d) {
+    const std::uint8_t b = key[d];
+    if (node->slot_id[b] != kNoEntry) best = node->slot_id[b];
+    node = node->child[b].get();
+    if (node == nullptr) break;
+  }
+  return best;
+}
+
+void LpmCore::clear() {
+  root_ = std::make_unique<Node>();
+  free_ids_.clear();
+  next_id_ = 0;
+  size_ = 0;
+  node_count_ = 1;
+}
+
+}  // namespace srv6bpf::util::detail
