@@ -11,6 +11,13 @@ TrafGen::TrafGen(sim::Node& node, Config cfg)
       interval_ns_(static_cast<sim::TimeNs>(1e9 / cfg.pps)),
       dst_site_base_(load_be16(t_template_.data() + 24 + 4)) {
   if (interval_ns_ == 0) interval_ns_ = 1;
+  // One header-chain walk at construction; every stamped (or rebuilt —
+  // same spec, same layout) packet reuses these offsets.
+  if (const auto loc = net::locate_transport(t_template_);
+      loc && loc->proto == net::kProtoUdp) {
+    udp_off_ = loc->offset;
+    has_udp_ = true;
+  }
 }
 
 void TrafGen::start() {
@@ -37,7 +44,11 @@ void fixup_checksum(std::uint8_t* ck, std::uint16_t old_word,
 }  // namespace
 
 net::Packet TrafGen::next_packet() {
-  net::Packet pkt = t_template_;  // copy the prebuilt frame
+  // Stamp: pooled-buffer copy of the prebuilt frame (one freelist pop plus
+  // one memcpy — no heap once the pool is warm). The baseline path
+  // re-serialises the whole frame from the spec instead.
+  net::Packet pkt =
+      cfg_.use_template ? t_template_ : net::make_udp_packet(cfg_.spec);
   pkt.seq = static_cast<std::uint32_t>(sent_);
   if (cfg_.flow_label_spread > 1) {
     // Rotate the outer flow label in place (bytes 1-3 of the fixed header;
@@ -57,27 +68,23 @@ net::Packet TrafGen::next_packet() {
     const std::uint16_t new_word = static_cast<std::uint16_t>(
         dst_site_base_ + sent_ % cfg_.dst_spread);
     store_be16(w, new_word);
-    if (cfg_.spec.segments.empty() && cfg_.spec.fill_checksum) {
+    if (cfg_.spec.segments.empty() && cfg_.spec.fill_checksum && has_udp_) {
       // The rewritten dst is the transport final destination, so it is in
       // the pseudo-header: fix the UDP checksum incrementally.
-      if (const auto loc = net::locate_transport(pkt);
-          loc && loc->proto == net::kProtoUdp)
-        fixup_checksum(pkt.data() + loc->offset + 6, old_word, new_word);
+      fixup_checksum(pkt.data() + udp_off_ + 6, old_word, new_word);
     }
   }
-  if (cfg_.src_port_spread > 1) {
-    // Rotate the UDP source port in place (offset depends on SRH presence).
-    const auto loc = net::locate_transport(pkt);
-    if (loc && loc->proto == net::kProtoUdp) {
-      std::uint8_t* pp = pkt.data() + loc->offset;
-      const std::uint16_t old_port = load_be16(pp);
-      const std::uint16_t port = static_cast<std::uint16_t>(
-          cfg_.spec.src_port + sent_ % cfg_.src_port_spread);
-      store_be16(pp, port);
-      // The port is inside the checksummed UDP header (SRH or not).
-      if (cfg_.spec.fill_checksum)
-        fixup_checksum(pp + 6, old_port, port);
-    }
+  if (cfg_.src_port_spread > 1 && has_udp_) {
+    // Rotate the UDP source port in place (cached offset; it depends only
+    // on SRH presence, which the template fixes).
+    std::uint8_t* pp = pkt.data() + udp_off_;
+    const std::uint16_t old_port = load_be16(pp);
+    const std::uint16_t port = static_cast<std::uint16_t>(
+        cfg_.spec.src_port + sent_ % cfg_.src_port_spread);
+    store_be16(pp, port);
+    // The port is inside the checksummed UDP header (SRH or not).
+    if (cfg_.spec.fill_checksum)
+      fixup_checksum(pp + 6, old_port, port);
   }
   ++sent_;
   return pkt;

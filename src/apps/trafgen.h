@@ -1,5 +1,16 @@
 // Constant-rate UDP packet generator — the trafgen/pktgen stand-in used to
 // offer 3 Mpps of 64-byte SRv6 traffic in §3.2.
+//
+// Packets are stamped from a per-flow template built once at construction:
+// each emission is one pooled-buffer copy of the prebuilt frame plus in-place
+// patches of the varying fields (flow label, destination site, source port,
+// each with the RFC 1624 incremental checksum fixup where the field is
+// covered), at cached byte offsets — the header chain is walked once, not
+// per packet. That is how trafgen/pktgen themselves reach line rate, and it
+// is what keeps the generator inside the simulator's zero-allocation steady
+// state. Config::use_template = false switches to rebuilding every packet
+// from the PacketSpec (the pre-pool behaviour), kept as the honest baseline
+// for bench_hotpath; both paths emit bit-identical packets.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +54,13 @@ class TrafGen {
     // the tick) for far fewer simulator events — the burst_sweep benchmark's
     // source-side knob. The average offered rate is preserved.
     std::size_t burst = 1;
+    // Template stamping (default): copy the prebuilt frame into a pooled
+    // buffer and patch the varying fields at cached offsets. false =
+    // rebuild every packet from `spec` via make_udp_packet (fresh buffer,
+    // SRH re-serialised, checksum recomputed) — the allocation-per-packet
+    // baseline bench_hotpath measures the pooled path against. Emitted
+    // bytes are identical either way (tests/alloc_test.cc asserts it).
+    bool use_template = true;
   };
 
   TrafGen(sim::Node& node, Config cfg);
@@ -59,6 +77,11 @@ class TrafGen {
   net::Packet t_template_;
   sim::TimeNs interval_ns_;
   std::uint16_t dst_site_base_ = 0;  // template dst bytes 4-5 (dst_spread)
+  // Transport location cached off the template (the layout is fixed per
+  // flow): spread patches fix checksums at these offsets without re-walking
+  // the header chain per packet.
+  std::size_t udp_off_ = 0;
+  bool has_udp_ = false;
   sim::TimeNs stop_at_ = 0;
   std::uint64_t sent_ = 0;
   sim::TimeNs next_send_ = 0;

@@ -61,7 +61,7 @@ ExecResult BpfSystem::run_jit(const LoadedProgram& prog, ExecEnv& env,
 
 void LoadedProgram::run_burst(
     const BpfSystem& sys, ExecEnv& env, std::span<BurstInvocation> batch,
-    const std::function<void(std::size_t)>& prep) const {
+    util::FunctionRef<void(std::size_t)> prep) const {
   if (batch.empty()) return;
   // Engine choice and env binding are loop-invariant: pay them once per
   // burst instead of once per packet.

@@ -22,6 +22,7 @@
 #include "ebpf/map.h"
 #include "ebpf/program.h"
 #include "ebpf/verifier.h"
+#include "util/function_ref.h"
 
 namespace srv6bpf::ebpf {
 
@@ -49,10 +50,12 @@ class LoadedProgram {
   // engine, resolving engine dispatch and env binding once for the whole
   // burst. `env` is shared across the burst; `prep(i)`, when provided, is
   // called immediately before slot i to retarget env/ctx at packet i (and is
-  // where callers harvest per-packet state left behind by slot i-1).
+  // where callers harvest per-packet state left behind by slot i-1). The
+  // hook is a non-owning FunctionRef: it must outlive the call, and costs
+  // no allocation per burst.
   void run_burst(const BpfSystem& sys, ExecEnv& env,
                  std::span<BurstInvocation> batch,
-                 const std::function<void(std::size_t)>& prep = {}) const;
+                 util::FunctionRef<void(std::size_t)> prep = {}) const;
 
  private:
   Program prog_;

@@ -1,0 +1,170 @@
+#include "net/buffer_pool.h"
+
+#include <new>
+
+#include "net/burst.h"
+
+namespace srv6bpf::net {
+
+namespace {
+
+struct BufferPoolState {
+  BufferPool::Buf* free_head = nullptr;
+  bool enabled = true;
+  BufferPool::Stats stats;
+
+  ~BufferPoolState() {
+    BufferPool::Buf* b = free_head;
+    while (b != nullptr) {
+      BufferPool::Buf* next = b->next;
+      ::operator delete(b);
+      b = next;
+    }
+  }
+};
+
+struct BurstPoolState {
+  // Freelist is threaded through a side vector-free singly-linked list of
+  // nodes; PacketBurst has no spare pointer field, so park cleared bursts in
+  // a simple array-of-pointers stack that is itself heap-grown (cold path
+  // only: its capacity follows the peak number of concurrently in-flight
+  // link deliveries, a handful per link).
+  PacketBurst** slots = nullptr;
+  std::size_t count = 0;
+  std::size_t cap = 0;
+  BurstPool::Stats stats;
+
+  ~BurstPoolState() {
+    for (std::size_t i = 0; i < count; ++i) delete slots[i];
+    delete[] slots;
+  }
+};
+
+// Construct-on-first-use so cross-TU static init order can't bite; the
+// states live until process exit (handles never outlive the event loops
+// that hold them, which die well before static destruction).
+BufferPoolState& buf_state() {
+  static BufferPoolState s;
+  return s;
+}
+
+BurstPoolState& burst_state() {
+  static BurstPoolState s;
+  return s;
+}
+
+}  // namespace
+
+BufferPool::Buf* BufferPool::acquire(std::size_t min_cap) {
+  BufferPoolState& s = buf_state();
+  Buf* b;
+  if (min_cap <= kPoolBufCap && s.enabled && s.free_head != nullptr) {
+    b = s.free_head;
+    s.free_head = b->next;
+    --s.stats.pooled;
+    ++s.stats.reuses;
+  } else {
+    const std::size_t cap = min_cap <= kPoolBufCap ? kPoolBufCap : min_cap;
+    b = static_cast<Buf*>(::operator new(sizeof(Buf) + cap));
+    b->cap = static_cast<std::uint32_t>(cap);
+    ++s.stats.allocs;
+  }
+  b->next = nullptr;
+  ++s.stats.outstanding;
+  if (s.stats.outstanding > s.stats.high_water)
+    s.stats.high_water = s.stats.outstanding;
+  return b;
+}
+
+void BufferPool::release(Buf* b) noexcept {
+  if (b == nullptr) return;
+  BufferPoolState& s = buf_state();
+  --s.stats.outstanding;
+  if (s.enabled && b->cap == kPoolBufCap) {
+    b->next = s.free_head;
+    s.free_head = b;
+    ++s.stats.pooled;
+  } else {
+    ::operator delete(b);
+  }
+}
+
+void BufferPool::set_enabled(bool on) noexcept { buf_state().enabled = on; }
+
+bool BufferPool::enabled() noexcept { return buf_state().enabled; }
+
+BufferPool::Stats BufferPool::stats() noexcept { return buf_state().stats; }
+
+void BufferPool::reset_stats() noexcept {
+  BufferPoolState& s = buf_state();
+  s.stats.allocs = 0;
+  s.stats.reuses = 0;
+  s.stats.high_water = s.stats.outstanding;
+}
+
+void BufferPool::trim() noexcept {
+  BufferPoolState& s = buf_state();
+  Buf* b = s.free_head;
+  while (b != nullptr) {
+    Buf* next = b->next;
+    ::operator delete(b);
+    b = next;
+  }
+  s.free_head = nullptr;
+  s.stats.pooled = 0;
+}
+
+PacketBurst* BurstPool::acquire() {
+  BurstPoolState& s = burst_state();
+  if (BufferPool::enabled() && s.count > 0) {
+    ++s.stats.reuses;
+    --s.stats.pooled;
+    return s.slots[--s.count];
+  }
+  ++s.stats.allocs;
+  return new PacketBurst();
+}
+
+void BurstPool::release(PacketBurst* b) noexcept {
+  if (b == nullptr) return;
+  b->clear();
+  BurstPoolState& s = burst_state();
+  if (!BufferPool::enabled()) {
+    delete b;
+    return;
+  }
+  if (s.count == s.cap) {  // cold path: grow the parking stack
+    const std::size_t new_cap = s.cap == 0 ? 16 : s.cap * 2;
+    PacketBurst** grown = new PacketBurst*[new_cap];
+    for (std::size_t i = 0; i < s.count; ++i) grown[i] = s.slots[i];
+    delete[] s.slots;
+    s.slots = grown;
+    s.cap = new_cap;
+  }
+  s.slots[s.count++] = b;
+  ++s.stats.pooled;
+}
+
+void BurstPool::Handle::reset() noexcept {
+  if (b_ != nullptr) {
+    BurstPool::release(b_);
+    b_ = nullptr;
+  }
+}
+
+BurstPool::Stats BurstPool::stats() noexcept { return burst_state().stats; }
+
+void BurstPool::reset_stats() noexcept {
+  BurstPoolState& s = burst_state();
+  s.stats.allocs = 0;
+  s.stats.reuses = 0;
+}
+
+void BurstPool::trim() noexcept {
+  BurstPoolState& s = burst_state();
+  for (std::size_t i = 0; i < s.count; ++i) delete s.slots[i];
+  s.count = 0;
+  s.stats.pooled = 0;
+}
+
+}  // namespace srv6bpf::net

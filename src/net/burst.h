@@ -58,9 +58,11 @@ class PacketBurst {
     }
     return *this;
   }
-  // Copying exists only because std::function-based event closures require
-  // copyable captures; the datapath always moves. size_ grows as slots are
-  // constructed so a throwing Packet copy unwinds cleanly.
+  // The datapath always moves; copying survives for tests that want to
+  // snapshot a burst. (Event closures moved off by-value burst captures
+  // entirely — in-flight bursts ride pooled BurstPool nodes so the InlineFn
+  // closure stays pointer-sized.) size_ grows as slots are constructed so a
+  // throwing Packet copy unwinds cleanly.
   PacketBurst(const PacketBurst& other) {
     for (std::size_t i = 0; i < other.size_; ++i) {
       new (slot(i)) Packet(other.pkt(i));

@@ -9,38 +9,142 @@
 namespace srv6bpf::net {
 
 Packet::Packet(std::span<const std::uint8_t> contents, std::size_t headroom)
-    : buf_(headroom + contents.size()), head_(headroom) {
+    : buf_(BufferPool::acquire(headroom + contents.size())),
+      head_(static_cast<std::uint32_t>(headroom)),
+      len_(static_cast<std::uint32_t>(contents.size())) {
   if (!contents.empty())
-    std::memcpy(buf_.data() + head_, contents.data(), contents.size());
+    std::memcpy(buf_->data() + head_, contents.data(), contents.size());
+}
+
+Packet::Packet(const Packet& other)
+    : buf_(nullptr), head_(other.head_), len_(other.len_), dst_(other.dst_) {
+  mark = other.mark;
+  ingress_ifindex = other.ingress_ifindex;
+  rx_tstamp_ns = other.rx_tstamp_ns;
+  tx_tstamp_ns = other.tx_tstamp_ns;
+  flow_id = other.flow_id;
+  seq = other.seq;
+  if (other.buf_ != nullptr) {
+    buf_ = BufferPool::acquire(other.head_ + other.len_);
+    std::memcpy(buf_->data() + head_, other.buf_->data() + other.head_, len_);
+  }
+}
+
+Packet& Packet::operator=(const Packet& other) {
+  if (this == &other) return *this;
+  if (other.buf_ == nullptr) {
+    BufferPool::release(buf_);
+    buf_ = nullptr;
+  } else {
+    // Reuse the held buffer when it fits: assigning over a warm packet
+    // (burst snapshots in tests, user code) skips the release/acquire
+    // round-trip.
+    if (buf_ == nullptr || buf_->cap < other.head_ + other.len_) {
+      BufferPool::release(buf_);
+      buf_ = BufferPool::acquire(other.head_ + other.len_);
+    }
+    std::memcpy(buf_->data() + other.head_, other.buf_->data() + other.head_,
+                other.len_);
+  }
+  head_ = other.head_;
+  len_ = other.len_;
+  dst_ = other.dst_;
+  mark = other.mark;
+  ingress_ifindex = other.ingress_ifindex;
+  rx_tstamp_ns = other.rx_tstamp_ns;
+  tx_tstamp_ns = other.tx_tstamp_ns;
+  flow_id = other.flow_id;
+  seq = other.seq;
+  return *this;
+}
+
+Packet::Packet(Packet&& other) noexcept
+    : buf_(other.buf_), head_(other.head_), len_(other.len_),
+      dst_(other.dst_) {
+  mark = other.mark;
+  ingress_ifindex = other.ingress_ifindex;
+  rx_tstamp_ns = other.rx_tstamp_ns;
+  tx_tstamp_ns = other.tx_tstamp_ns;
+  flow_id = other.flow_id;
+  seq = other.seq;
+  other.buf_ = nullptr;
+  other.head_ = 0;
+  other.len_ = 0;
+}
+
+Packet& Packet::operator=(Packet&& other) noexcept {
+  if (this == &other) return *this;
+  BufferPool::release(buf_);
+  buf_ = other.buf_;
+  head_ = other.head_;
+  len_ = other.len_;
+  dst_ = other.dst_;
+  mark = other.mark;
+  ingress_ifindex = other.ingress_ifindex;
+  rx_tstamp_ns = other.rx_tstamp_ns;
+  tx_tstamp_ns = other.tx_tstamp_ns;
+  flow_id = other.flow_id;
+  seq = other.seq;
+  other.buf_ = nullptr;
+  other.head_ = 0;
+  other.len_ = 0;
+  return *this;
+}
+
+void Packet::grow_headroom(std::size_t need) {
+  // Leave kDefaultHeadroom beyond the immediate need so a chain of encaps
+  // doesn't regrow per layer (the old vector-insert path did the same).
+  const std::size_t new_head = need + kDefaultHeadroom;
+  if (buf_ != nullptr && new_head + len_ <= buf_->cap) {
+    std::memmove(buf_->data() + new_head, buf_->data() + head_, len_);
+  } else {
+    BufferPool::Buf* grown = BufferPool::acquire(new_head + len_);
+    if (buf_ != nullptr)
+      std::memcpy(grown->data() + new_head, buf_->data() + head_, len_);
+    BufferPool::release(buf_);
+    buf_ = grown;
+  }
+  head_ = static_cast<std::uint32_t>(new_head);
 }
 
 std::uint8_t* Packet::push_front(std::size_t n) {
-  if (n > head_) {
-    // Grow headroom: shift the payload right.
-    const std::size_t extra = (n - head_) + kDefaultHeadroom;
-    buf_.insert(buf_.begin(), extra, 0);
-    head_ += extra;
-  }
-  head_ -= n;
+  if (n > head_ || buf_ == nullptr) grow_headroom(n);
+  head_ -= static_cast<std::uint32_t>(n);
+  len_ += static_cast<std::uint32_t>(n);
   return data();
 }
 
 void Packet::pull_front(std::size_t n) {
-  if (n > size()) n = size();
-  head_ += n;
+  if (n > len_) n = len_;
+  head_ += static_cast<std::uint32_t>(n);
+  len_ -= static_cast<std::uint32_t>(n);
 }
 
 bool Packet::expand_at(std::size_t at, std::ptrdiff_t delta) {
-  if (at > size()) return false;
+  if (at > len_) return false;
   if (delta == 0) return true;
   if (delta > 0) {
-    buf_.insert(buf_.begin() + static_cast<std::ptrdiff_t>(head_ + at),
-                static_cast<std::size_t>(delta), 0);
+    const std::size_t grow = static_cast<std::size_t>(delta);
+    if (buf_ == nullptr || head_ + len_ + grow > buf_->cap) {
+      BufferPool::Buf* grown =
+          BufferPool::acquire(kDefaultHeadroom + len_ + grow);
+      if (buf_ != nullptr)
+        std::memcpy(grown->data() + kDefaultHeadroom, buf_->data() + head_,
+                    len_);
+      BufferPool::release(buf_);
+      buf_ = grown;
+      head_ = kDefaultHeadroom;
+    }
+    std::uint8_t* p = buf_->data() + head_;
+    std::memmove(p + at + grow, p + at, len_ - at);
+    std::memset(p + at, 0, grow);
+    len_ += static_cast<std::uint32_t>(grow);
   } else {
     const std::size_t remove = static_cast<std::size_t>(-delta);
-    if (at + remove > size()) return false;
-    const auto first = buf_.begin() + static_cast<std::ptrdiff_t>(head_ + at);
-    buf_.erase(first, first + static_cast<std::ptrdiff_t>(remove));
+    if (at + remove > len_) return false;
+    std::uint8_t* p = buf_->data() + head_;
+    std::memmove(p + at, p + at + remove, len_ - at - remove);
+    len_ -= static_cast<std::uint32_t>(remove);
   }
   return true;
 }

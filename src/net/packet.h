@@ -4,14 +4,23 @@
 // is a cheap push_front) plus the metadata the seg6local/LWT machinery needs:
 // the resolved next-hop ("dst cache"), timestamps, ingress interface and the
 // skb->mark scratch field exposed to eBPF programs.
+//
+// Storage comes from net::BufferPool (skb/mbuf-style recycling): creating a
+// packet pops a headroom-reserved buffer off the freelist and destroying it
+// pushes the buffer back, so the steady-state forwarding path never touches
+// the heap. Headroom regrowth on push_front is a single non-zeroing
+// memmove (in place when tailroom allows, into a fresh buffer otherwise) —
+// never the O(n) value-initialising shift a vector insert would pay.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/ip6.h"
 #include "net/srh.h"
 
@@ -28,28 +37,33 @@ struct DstEntry {
 
 class Packet {
  public:
-  // A default packet is empty with no reserved headroom (push_front grows it
-  // on demand), so arrays of packets — PacketBurst slots — cost nothing to
-  // construct.
+  // A default packet is empty and owns no buffer (push_front acquires one on
+  // demand), so arrays of packets — PacketBurst slots, RxRing slots — cost
+  // nothing to construct.
   Packet() = default;
   explicit Packet(std::span<const std::uint8_t> contents,
                   std::size_t headroom = kDefaultHeadroom);
 
-  Packet(const Packet&) = default;
-  Packet(Packet&&) noexcept = default;
-  Packet& operator=(const Packet&) = default;
-  Packet& operator=(Packet&&) noexcept = default;
+  Packet(const Packet& other);
+  Packet& operator=(const Packet& other);
+  Packet(Packet&& other) noexcept;
+  Packet& operator=(Packet&& other) noexcept;
+  ~Packet() { BufferPool::release(buf_); }
 
-  std::uint8_t* data() noexcept { return buf_.data() + head_; }
-  const std::uint8_t* data() const noexcept { return buf_.data() + head_; }
-  std::size_t size() const noexcept { return buf_.size() - head_; }
+  std::uint8_t* data() noexcept {
+    return buf_ == nullptr ? nullptr : buf_->data() + head_;
+  }
+  const std::uint8_t* data() const noexcept {
+    return buf_ == nullptr ? nullptr : buf_->data() + head_;
+  }
+  std::size_t size() const noexcept { return len_; }
   std::span<std::uint8_t> bytes() noexcept { return {data(), size()}; }
   std::span<const std::uint8_t> bytes() const noexcept {
     return {data(), size()};
   }
   std::size_t headroom() const noexcept { return head_; }
 
-  // Prepends `n` bytes (uninitialised), reallocating headroom if needed.
+  // Prepends `n` bytes (uninitialised), regrowing headroom if needed.
   std::uint8_t* push_front(std::size_t n);
   // Removes `n` bytes from the front (decapsulation). n <= size().
   void pull_front(std::size_t n);
@@ -74,8 +88,15 @@ class Packet {
   std::optional<SrhView> srh() noexcept;
 
  private:
-  std::vector<std::uint8_t> buf_;
-  std::size_t head_ = 0;
+  // Moves the payload so that headroom >= need, reallocating only when the
+  // current buffer cannot hold need + len_ (then releasing the old buffer
+  // back to the pool). Never zero-initialises.
+  void grow_headroom(std::size_t need);
+  std::size_t cap() const noexcept { return buf_ ? buf_->cap : 0; }
+
+  BufferPool::Buf* buf_ = nullptr;
+  std::uint32_t head_ = 0;
+  std::uint32_t len_ = 0;
   DstEntry dst_;
 };
 

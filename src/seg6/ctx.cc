@@ -106,7 +106,7 @@ void Seg6BurstRunner::account(ProcessTrace* trace,
 void run_prog_over_burst(Netns& ns, const ebpf::LoadedProgram& prog,
                          std::span<net::Packet* const> pkts,
                          ProcessTrace* const* traces,
-                         const BurstPerPacketFn& per_packet) {
+                         BurstPerPacketFn per_packet) {
   const std::size_t n = pkts.size();
   std::size_t base = 0;
   while (base < n) {

@@ -197,11 +197,13 @@ class Seg6BurstRunner {
 // prepare protocol, then invokes `per_packet(k, exec, flags)` for each index
 // of `pkts` in order (after trace accounting). Callers keep any index
 // mapping of their own and interpret the outcome (End.BPF vs LWT epilogue).
-using BurstPerPacketFn = std::function<void(
+// The callback is a non-owning FunctionRef (call-scope lifetime): hook
+// plumbing costs the hot path zero allocations per burst.
+using BurstPerPacketFn = util::FunctionRef<void(
     std::size_t, const ebpf::ExecResult&, const Seg6BurstRunner::Verdict&)>;
 void run_prog_over_burst(Netns& ns, const ebpf::LoadedProgram& prog,
                          std::span<net::Packet* const> pkts,
                          ProcessTrace* const* traces,
-                         const BurstPerPacketFn& per_packet);
+                         BurstPerPacketFn per_packet);
 
 }  // namespace srv6bpf::seg6

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/buffer_pool.h"
 #include "sim/node.h"
 
 namespace srv6bpf::sim {
@@ -66,13 +67,19 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
 
   // Back-to-back serialization makes arrivals monotone, so one event at the
   // last arrival moves the whole burst; per-packet arrival times ride in the
-  // metadata (interrupt coalescing, in effect).
+  // metadata (interrupt coalescing, in effect). The burst is parked in a
+  // pooled node so the event closure carries only a pointer — a by-value
+  // PacketBurst capture would blow InlineFn's inline budget — and the Handle
+  // recycles the node (and its packet buffers) even if the event loop is
+  // torn down before delivery.
   const TimeNs last_arrival = out.meta(out.size() - 1).at_ns;
   Node* dst_node = rx.node;
   const int dst_if = rx.ifindex;
+  net::BurstPool::Handle h(net::BurstPool::acquire());
+  *h = std::move(out);
   loop_.schedule_at(last_arrival,
-                    [dst_node, dst_if, b = std::move(out)]() mutable {
-                      dst_node->receive_burst_from_link(std::move(b), dst_if);
+                    [dst_node, dst_if, h = std::move(h)]() mutable {
+                      dst_node->receive_burst_from_link(std::move(*h), dst_if);
                     });
 }
 

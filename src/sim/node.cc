@@ -104,12 +104,10 @@ std::size_t Node::steer(const net::Packet& pkt) const {
 void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
   CpuContext& ctx = contexts()[steer(pkt)];
   Iface& iface = ifaces_[static_cast<std::size_t>(ifindex)];
-  auto& ring = iface.rx_rings[ctx.id];
-  if (ring.size() >= cpu.rx_queue_limit) {
+  if (!iface.rx_rings[ctx.id].push(std::move(pkt), cpu.rx_queue_limit)) {
     ++nic_stats_.drops_rx_queue;
     return;
   }
-  ring.push_back(std::move(pkt));
   maybe_schedule_service(ctx);
 }
 
@@ -160,11 +158,8 @@ void Node::service_burst(CpuContext& ctx) {
   // rotation in miniature) so one busy NIC cannot starve the others.
   const std::size_t nif = ifaces_.size();
   for (std::size_t pass = 0; pass < nif && b.size() < budget; ++pass) {
-    auto& ring = ifaces_[(ctx.rr_iface + pass) % nif].rx_rings[ctx.id];
-    while (!ring.empty() && b.size() < budget) {
-      b.push(std::move(ring.front()));
-      ring.pop_front();
-    }
+    RxRing& ring = ifaces_[(ctx.rr_iface + pass) % nif].rx_rings[ctx.id];
+    while (!ring.empty() && b.size() < budget) b.push(ring.pop());
   }
   if (nif > 0) ctx.rr_iface = (ctx.rr_iface + 1) % nif;
   if (b.empty()) {

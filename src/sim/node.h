@@ -33,7 +33,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,6 +45,7 @@
 #include "sim/datapath.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "sim/rx_ring.h"
 #include "sim/stats.h"
 #include "util/rng.h"
 
@@ -136,8 +136,10 @@ class Node {
     int side = 0;
     net::Ipv6Addr addr;
     // CPU-model ingress backlog: one RX ring per CPU context (the NIC's RSS
-    // queues), sized with the context vector.
-    std::vector<std::deque<net::Packet>> rx_rings;
+    // queues), sized with the context vector. RxRing slot storage is
+    // allocated once at rx_queue_limit and recycled in place — steady-state
+    // enqueue/drain never touches the allocator.
+    std::vector<RxRing> rx_rings;
   };
 
   // Sizes ctxs_ (and every interface's ring vector) to the clamped
