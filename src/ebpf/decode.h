@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ebpf/helpers.h"
@@ -96,6 +97,9 @@ class DecodedProgram {
   const DecodedInsn* data() const noexcept { return ops_.data(); }
   std::size_t size() const noexcept { return ops_.size(); }
   const std::vector<DecodedInsn>& ops() const noexcept { return ops_; }
+
+  // Human-readable listing, one op per line (ebpf/disasm.h).
+  std::string dump() const;
 
  private:
   friend std::shared_ptr<const DecodedProgram> decode_program(

@@ -13,7 +13,13 @@ std::shared_ptr<const CompiledProgram> Jit::compile(
   if (!prog.verified())
     throw std::logic_error("jit: refusing to compile unverified program '" +
                            prog.name() + "'");
-  return std::make_shared<CompiledProgram>(decode_program(prog, helpers_));
+  auto decoded = decode_program(prog, helpers_);
+  // Native emission is best-effort: on unsupported hosts (or if W^X pages
+  // are refused) the unchecked engine remains as the portable fallback.
+  std::shared_ptr<const NativeCode> native;
+  if (available()) native = compile_native(*decoded, nullptr);
+  return std::make_shared<CompiledProgram>(std::move(decoded),
+                                           std::move(native));
 }
 
 ExecResult CompiledProgram::run(ExecEnv& env, std::uint64_t ctx) const {

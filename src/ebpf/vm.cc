@@ -1,6 +1,14 @@
 #include "ebpf/vm.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace srv6bpf::ebpf {
+
+bool BpfSystem::log_loads_default() noexcept {
+  const char* v = std::getenv("SRV6BPF_LOG_LOADS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 BpfSystem::LoadResult BpfSystem::load(std::string name, ProgType type,
                                       std::vector<Insn> insns,
@@ -14,12 +22,27 @@ BpfSystem::LoadResult BpfSystem::load(std::string name, ProgType type,
   if (!result.verify.ok) return result;
 
   prog.set_verified();
-  // Decode once (jump targets, fused ld_imm64, resolved helpers); the
-  // compiled form carries the shared decoded program for both engines.
+  // Decode once (jump targets, fused ld_imm64, resolved helpers), then emit
+  // native machine code where the host supports it; the compiled form
+  // carries the shared decoded program for every engine.
   Jit jit(&helpers_);
   auto compiled = jit.compile(prog);
-  result.prog =
-      std::make_shared<LoadedProgram>(std::move(prog), std::move(compiled));
+  const EngineKind resolved = engine_ == EngineKind::kNative &&
+                                      !compiled->has_native()
+                                  ? EngineKind::kUnchecked
+                                  : engine_;
+  if (log_loads_) {
+    std::fprintf(stderr, "bpf: loaded '%s' (%zu ops) engine=%s%s\n",
+                 prog.name().c_str(), compiled->op_count(),
+                 engine_name(resolved),
+                 compiled->has_native()
+                     ? (" native_code=" +
+                        std::to_string(compiled->native_code_size()) + "B")
+                           .c_str()
+                     : "");
+  }
+  result.prog = std::make_shared<LoadedProgram>(std::move(prog),
+                                                std::move(compiled), resolved);
   return result;
 }
 
@@ -31,13 +54,37 @@ void BpfSystem::bind_env(ExecEnv& env) const {
 
 ExecResult BpfSystem::run(const LoadedProgram& prog, ExecEnv& env,
                           std::uint64_t ctx) const {
+  // Hot path: resolve the compiled form and (for kNative) the code object
+  // exactly once — every extra shared_ptr chase here is measurable on the
+  // shortest §3.2 programs.
+  bind_env(env);
+  const CompiledProgram& c = prog.compiled();
   switch (engine_) {
-    case EngineKind::kJit: return run_jit(prog, env, ctx);
-    case EngineKind::kInterp: return run_interpreted(prog, env, ctx);
+    case EngineKind::kNative:
+      if (const NativeCode* nc = c.native()) return nc->run(env, ctx);
+      [[fallthrough]];  // no emitted code: degrade to the unchecked engine
+    case EngineKind::kUnchecked:
+      return c.run(env, ctx);
+    case EngineKind::kInterp:
+      return interp_.run(c.decoded(), env, ctx);
     case EngineKind::kInterpBaseline:
-      return run_interp_baseline(prog, env, ctx);
+      return interp_.run(prog.program(), env, ctx);
   }
-  return run_jit(prog, env, ctx);
+  return c.run(env, ctx);
+}
+
+ExecResult BpfSystem::run_native(const LoadedProgram& prog, ExecEnv& env,
+                                 std::uint64_t ctx) const {
+  bind_env(env);
+  const CompiledProgram& c = prog.compiled();
+  if (const NativeCode* nc = c.native()) return nc->run(env, ctx);
+  return c.run(env, ctx);
+}
+
+ExecResult BpfSystem::run_unchecked(const LoadedProgram& prog, ExecEnv& env,
+                                    std::uint64_t ctx) const {
+  bind_env(env);
+  return prog.compiled().run(env, ctx);
 }
 
 ExecResult BpfSystem::run_interpreted(const LoadedProgram& prog, ExecEnv& env,
@@ -53,12 +100,6 @@ ExecResult BpfSystem::run_interp_baseline(const LoadedProgram& prog,
   return interp_.run(prog.program(), env, ctx);
 }
 
-ExecResult BpfSystem::run_jit(const LoadedProgram& prog, ExecEnv& env,
-                              std::uint64_t ctx) const {
-  bind_env(env);
-  return prog.compiled().run(env, ctx);
-}
-
 void LoadedProgram::run_burst(
     const BpfSystem& sys, ExecEnv& env, std::span<BurstInvocation> batch,
     util::FunctionRef<void(std::size_t)> prep) const {
@@ -66,8 +107,17 @@ void LoadedProgram::run_burst(
   // Engine choice and env binding are loop-invariant: pay them once per
   // burst instead of once per packet.
   sys.bind_env(env);
-  switch (sys.engine()) {
-    case EngineKind::kJit:
+  switch (sys.engine_for(*this)) {
+    case EngineKind::kNative: {
+      // engine_for() only reports kNative when machine code exists.
+      const NativeCode* nc = compiled().native();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (prep) prep(i);
+        batch[i].result = nc->run(env, batch[i].ctx);
+      }
+      return;
+    }
+    case EngineKind::kUnchecked:
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (prep) prep(i);
         batch[i].result = compiled().run(env, batch[i].ctx);

@@ -35,16 +35,53 @@ struct BurstInvocation {
   ExecResult result;
 };
 
+// Which execution engine runs a program. The order is "fastest first":
+//   kNative         — emitted x86-64 machine code (ebpf/jit_x86.h); the
+//                     default when the host supports it;
+//   kUnchecked      — unchecked decoded form, the portable JIT fallback
+//                     (non-x86-64 hosts, or W^X pages unavailable);
+//   kInterp         — pre-decoded checked interpreter (bpf_jit_enable = 0);
+//   kInterpBaseline — legacy decode-every-step interpreter, kept as the
+//                     reference point the §3.2 benches compare against.
+// kNative and kUnchecked are both "JIT" in the paper's bpf_jit_enable sense:
+// verifier-trusting, no runtime checks.
+enum class EngineKind { kNative, kUnchecked, kInterp, kInterpBaseline };
+
+constexpr const char* engine_name(EngineKind e) noexcept {
+  switch (e) {
+    case EngineKind::kNative: return "native";
+    case EngineKind::kUnchecked: return "unchecked";
+    case EngineKind::kInterp: return "interp";
+    case EngineKind::kInterpBaseline: return "interp-baseline";
+  }
+  return "?";
+}
+
+// True for the verifier-trusting engines (what the kernel's bpf_jit_enable=1
+// buys); the datapath accounting buckets instruction counts by this.
+constexpr bool engine_is_jit(EngineKind e) noexcept {
+  return e == EngineKind::kNative || e == EngineKind::kUnchecked;
+}
+
 // A verified, loaded program plus its compiled form.
 class LoadedProgram {
  public:
-  LoadedProgram(Program prog, std::shared_ptr<const CompiledProgram> compiled)
-      : prog_(std::move(prog)), compiled_(std::move(compiled)) {}
+  LoadedProgram(Program prog, std::shared_ptr<const CompiledProgram> compiled,
+                EngineKind engine)
+      : prog_(std::move(prog)),
+        compiled_(std::move(compiled)),
+        engine_(engine) {}
 
   const Program& program() const noexcept { return prog_; }
   const std::string& name() const noexcept { return prog_.name(); }
   ProgType type() const noexcept { return prog_.type(); }
   const CompiledProgram& compiled() const noexcept { return *compiled_; }
+
+  // The engine this program resolved to at load time: the system's selected
+  // engine with kNative downgraded to kUnchecked when no machine code could
+  // be emitted. Purely observational — run() re-resolves against the
+  // system's *current* selection so benches can flip engines after load.
+  EngineKind engine() const noexcept { return engine_; }
 
   // Runs this program over a vector of invocations on `sys`'s selected
   // engine, resolving engine dispatch and env binding once for the whole
@@ -60,16 +97,10 @@ class LoadedProgram {
  private:
   Program prog_;
   std::shared_ptr<const CompiledProgram> compiled_;
+  EngineKind engine_;
 };
 
 using ProgHandle = std::shared_ptr<LoadedProgram>;
-
-// Which execution engine BpfSystem::run uses.
-//   kJit           — unchecked decoded form (bpf_jit_enable = 1);
-//   kInterp        — pre-decoded checked interpreter (bpf_jit_enable = 0);
-//   kInterpBaseline — legacy decode-every-step interpreter, kept as the
-//                     reference point the §3.2 benches compare against.
-enum class EngineKind { kJit, kInterp, kInterpBaseline };
 
 class BpfSystem {
  public:
@@ -79,16 +110,32 @@ class BpfSystem {
   const MapRegistry& maps() const noexcept { return maps_; }
   HelperRegistry& helpers() noexcept { return helpers_; }
 
-  // bpf_jit_enable. Default on, as in the paper's main experiments.
+  // bpf_jit_enable. Default on, as in the paper's main experiments: native
+  // machine code where the host supports it, the unchecked engine otherwise.
   void set_jit_enabled(bool on) noexcept {
-    engine_ = on ? EngineKind::kJit : EngineKind::kInterp;
+    engine_ = on ? EngineKind::kNative : EngineKind::kInterp;
   }
-  bool jit_enabled() const noexcept { return engine_ == EngineKind::kJit; }
+  bool jit_enabled() const noexcept { return engine_is_jit(engine_); }
 
   // Finer-grained engine choice (benchmarks use the baseline interpreter to
   // quantify what decode-once dispatch buys).
   void set_engine(EngineKind e) noexcept { engine_ = e; }
   EngineKind engine() const noexcept { return engine_; }
+
+  // The engine `prog` would actually run on under the current selection:
+  // kNative degrades to kUnchecked when no machine code was emitted for it.
+  EngineKind engine_for(const LoadedProgram& prog) const noexcept {
+    if (engine_ == EngineKind::kNative && !prog.compiled().has_native())
+      return EngineKind::kUnchecked;
+    return engine_;
+  }
+
+  // When enabled, each successful load logs one line (program name, op
+  // count, resolved engine, emitted-code size) to stderr. Defaults to the
+  // SRV6BPF_LOG_LOADS environment variable so scenario binaries can be
+  // inspected without a rebuild; tests that load thousands of programs keep
+  // it off.
+  void set_log_loads(bool on) noexcept { log_loads_ = on; }
 
   struct LoadResult {
     ProgHandle prog;  // null on verification failure
@@ -107,24 +154,31 @@ class BpfSystem {
                  std::uint64_t ctx) const;
 
   // Run with an explicit engine choice (benchmarks use this to compare).
+  // run_native executes emitted machine code (falls back to run_unchecked
+  // when none exists); run_unchecked is the portable no-checks path;
   // run_interpreted is the pre-decoded threaded-dispatch path;
   // run_interp_baseline is the legacy decode-every-step path.
+  ExecResult run_native(const LoadedProgram& prog, ExecEnv& env,
+                        std::uint64_t ctx) const;
+  ExecResult run_unchecked(const LoadedProgram& prog, ExecEnv& env,
+                           std::uint64_t ctx) const;
   ExecResult run_interpreted(const LoadedProgram& prog, ExecEnv& env,
                              std::uint64_t ctx) const;
   ExecResult run_interp_baseline(const LoadedProgram& prog, ExecEnv& env,
                                  std::uint64_t ctx) const;
-  ExecResult run_jit(const LoadedProgram& prog, ExecEnv& env,
-                     std::uint64_t ctx) const;
 
  private:
   friend class LoadedProgram;  // run_burst resolves the engine once
 
   void bind_env(ExecEnv& env) const;
 
+  static bool log_loads_default() noexcept;  // SRV6BPF_LOG_LOADS env var
+
   MapRegistry maps_;
   HelperRegistry helpers_;
   Interpreter interp_;
-  EngineKind engine_ = EngineKind::kJit;
+  EngineKind engine_ = EngineKind::kNative;
+  bool log_loads_ = log_loads_default();
 };
 
 }  // namespace srv6bpf::ebpf

@@ -1,19 +1,22 @@
-// Differential fuzzing of the three execution engines.
+// Differential fuzzing of the four execution engines.
 //
 // Generates random-but-verifiable programs from a seeded Rng and asserts
 // that the baseline decode-every-step interpreter, the pre-decoded threaded
-// interpreter and the unchecked JIT engine agree on everything observable:
-// return value, executed-instruction count, helper-call count and map side
-// effects. Any divergence is a bug by definition — this is the safety net
-// under the decode-once refactor (a miscompiled jump target or a wrong
-// immediate extension shows up here long before it would surface in a
-// paper-figure bench).
+// interpreter, the unchecked JIT engine and the native x86-64 JIT agree on
+// everything observable: return value, executed-instruction count,
+// helper-call count and map side effects. Any divergence is a bug by
+// definition — this is the safety net under the decode-once refactor and the
+// machine-code emitter (a miscompiled jump target or a wrong immediate
+// extension shows up here long before it would surface in a paper-figure
+// bench). On hosts without native support the kNative row degrades to the
+// unchecked engine, keeping the test green as a three-way comparison.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
 #include "ebpf/asm.h"
+#include "ebpf/disasm.h"
 #include "ebpf/helpers.h"
 #include "ebpf/map.h"
 #include "ebpf/vm.h"
@@ -236,6 +239,17 @@ struct EngineObservation {
   std::vector<std::uint64_t> map_values;
 };
 
+// Decoded-form disassembly plus emitted-code size; built lazily, only when
+// an assertion fails (gtest evaluates the streamed expression on failure).
+std::string dump_program(const std::vector<Insn>& insns) {
+  BpfSystem sys;
+  const MapDef def{MapType::kArray, 4, 8, kMapEntries, "m"};
+  sys.maps().create(def);
+  auto load = sys.load("dump", ProgType::kLwtSeg6Local, insns);
+  if (!load.ok()) return "(program no longer loads)\n" + disasm(insns);
+  return load.prog->compiled().dump();
+}
+
 EngineObservation run_on(EngineKind engine, const std::vector<Insn>& insns) {
   BpfSystem sys;
   const MapDef def{MapType::kArray, 4, 8, kMapEntries, "m"};
@@ -288,22 +302,26 @@ TEST(Differential, EnginesAgreeOnRandomPrograms) {
 
     const EngineObservation base = run_on(EngineKind::kInterpBaseline, insns);
     const EngineObservation pre = run_on(EngineKind::kInterp, insns);
-    const EngineObservation jit = run_on(EngineKind::kJit, insns);
+    const EngineObservation unchecked = run_on(EngineKind::kUnchecked, insns);
+    const EngineObservation native = run_on(EngineKind::kNative, insns);
 
-    ASSERT_TRUE(base.exec.ok()) << base.exec.error << "\n" << disasm(insns);
-    ASSERT_TRUE(pre.exec.ok()) << pre.exec.error << "\n" << disasm(insns);
-    ASSERT_TRUE(jit.exec.ok()) << jit.exec.error << "\n" << disasm(insns);
+    ASSERT_TRUE(base.exec.ok())
+        << base.exec.error << "\n" << dump_program(insns);
+    ASSERT_TRUE(pre.exec.ok())
+        << pre.exec.error << "\n" << dump_program(insns);
+    ASSERT_TRUE(unchecked.exec.ok())
+        << unchecked.exec.error << "\n" << dump_program(insns);
+    ASSERT_TRUE(native.exec.ok())
+        << native.exec.error << "\n" << dump_program(insns);
 
-    ASSERT_EQ(base.exec.ret, pre.exec.ret) << disasm(insns);
-    ASSERT_EQ(base.exec.ret, jit.exec.ret) << disasm(insns);
-    ASSERT_EQ(base.exec.insns_executed, pre.exec.insns_executed)
-        << disasm(insns);
-    ASSERT_EQ(base.exec.insns_executed, jit.exec.insns_executed)
-        << disasm(insns);
-    ASSERT_EQ(base.exec.helper_calls, pre.exec.helper_calls) << disasm(insns);
-    ASSERT_EQ(base.exec.helper_calls, jit.exec.helper_calls) << disasm(insns);
-    ASSERT_EQ(base.map_values, pre.map_values) << disasm(insns);
-    ASSERT_EQ(base.map_values, jit.map_values) << disasm(insns);
+    for (const EngineObservation* row : {&pre, &unchecked, &native}) {
+      ASSERT_EQ(base.exec.ret, row->exec.ret) << dump_program(insns);
+      ASSERT_EQ(base.exec.insns_executed, row->exec.insns_executed)
+          << dump_program(insns);
+      ASSERT_EQ(base.exec.helper_calls, row->exec.helper_calls)
+          << dump_program(insns);
+      ASSERT_EQ(base.map_values, row->map_values) << dump_program(insns);
+    }
   }
   // The generator is tuned so nearly every program verifies; if this drops
   // below the target the generator regressed, not the engines.

@@ -1,6 +1,7 @@
-// Instruction-semantics tests, run against BOTH execution engines through a
-// parameterized fixture: any divergence between the interpreter and the
-// JIT-style engine is a bug by definition.
+// Instruction-semantics tests, run against ALL execution engines through a
+// parameterized fixture: any divergence between the interpreters and the
+// JIT-style engines (unchecked decoded and native x86-64) is a bug by
+// definition.
 #include <gtest/gtest.h>
 
 #include "ebpf/asm.h"
@@ -18,8 +19,9 @@ namespace {
 class EngineTest : public ::testing::TestWithParam<EngineKind> {
  protected:
   // Runs a program through the selected engine: the pre-decoded threaded
-  // interpreter, the legacy decode-every-step interpreter, or the unchecked
-  // JIT engine. All programs in this file are verifiable.
+  // interpreter, the legacy decode-every-step interpreter, the unchecked
+  // JIT engine, or the native x86-64 JIT (which degrades to unchecked on
+  // unsupported hosts). All programs in this file are verifiable.
   ExecResult run(const std::vector<Insn>& insns, std::uint64_t ctx = 0) {
     BpfSystem sys;
     auto load = sys.load("t", ProgType::kLwtSeg6Local, insns);
@@ -40,13 +42,15 @@ class EngineTest : public ::testing::TestWithParam<EngineKind> {
 INSTANTIATE_TEST_SUITE_P(Engines, EngineTest,
                          ::testing::Values(EngineKind::kInterp,
                                            EngineKind::kInterpBaseline,
-                                           EngineKind::kJit),
+                                           EngineKind::kUnchecked,
+                                           EngineKind::kNative),
                          [](const auto& info) {
                            switch (info.param) {
                              case EngineKind::kInterp: return "Interp";
                              case EngineKind::kInterpBaseline:
                                return "InterpBaseline";
-                             default: return "Jit";
+                             case EngineKind::kUnchecked: return "Unchecked";
+                             default: return "Native";
                            }
                          });
 
