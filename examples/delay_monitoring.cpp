@@ -4,11 +4,17 @@
 // carrying a DM TLV; End.DM on R reports TX/RX timestamps over a perf event
 // ring; a daemon relays them to the controller, which prints OWD statistics.
 //
+// The userspace receive paths are driven entirely by compiled filter
+// expressions: the sink and the controller each attach a tcpdump-style
+// filter (compiled to classic BPF, translated to eBPF, run on the node's
+// engine) to their socket, SO_ATTACH_FILTER style.
+//
 //   $ ./delay_monitoring
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
 
+#include "apps/socket_filter.h"
 #include "usecases/delay_monitor.h"
 
 using namespace srv6bpf;
@@ -17,18 +23,29 @@ int main() {
   usecases::DelayMonitorLab::Options opts;
   opts.probe_ratio = 50;
   opts.link_delay = 5 * sim::kMilli;  // 5 ms per hop
+  opts.sink_filter = "udp and dst port 7001";
+  opts.controller_filter = "udp and dst port 9999";
   usecases::DelayMonitorLab lab(opts);
 
+  std::printf("sink filter:       filter(\"%s\")\n",
+              lab.sink_filter()->expr().c_str());
+  std::printf("controller filter: filter(\"%s\")\n",
+              lab.controller_filter()->expr().c_str());
   std::printf("offering 20k pps of plain IPv6 for 1 s (probing 1:%llu)...\n",
               static_cast<unsigned long long>(opts.probe_ratio));
   lab.offer_traffic(/*pps=*/20000, /*duration=*/sim::kSecond);
   lab.run_for(1500 * sim::kMilli);
 
   const auto& samples = lab.samples();
-  std::printf("sink received %llu packets; controller collected %zu OWD "
-              "samples\n",
+  std::printf("sink received %llu packets (filter accepted %llu / dropped "
+              "%llu); controller collected %zu OWD samples (filter accepted "
+              "%llu)\n",
               static_cast<unsigned long long>(lab.sink_packets()),
-              samples.size());
+              static_cast<unsigned long long>(lab.sink_filter()->accepted()),
+              static_cast<unsigned long long>(lab.sink_filter()->dropped()),
+              samples.size(),
+              static_cast<unsigned long long>(
+                  lab.controller_filter()->accepted()));
   if (samples.empty()) return 1;
 
   std::vector<double> owd;

@@ -1,5 +1,7 @@
 #include "apps/sink.h"
 
+#include "apps/socket_filter.h"
+
 namespace srv6bpf::apps {
 
 AppMux::AppMux(sim::Node& node) : node_(node) {
@@ -8,7 +10,21 @@ AppMux::AppMux(sim::Node& node) : node_(node) {
   });
 }
 
+AppMux::~AppMux() = default;
+
+void AppMux::attach_udp_filter(std::uint16_t port,
+                               std::shared_ptr<SocketFilter> f) {
+  if (f == nullptr)
+    udp_filters_.erase(port);
+  else
+    udp_filters_[port] = std::move(f);
+}
+
 void AppMux::deliver(net::Packet&& pkt, sim::TimeNs now) {
+  if (ingress_filter_ != nullptr && !ingress_filter_->accept(pkt)) {
+    ++filtered_;
+    return;
+  }
   const auto loc = net::locate_transport(pkt);
   if (loc) {
     const std::span<const std::uint8_t> from_transport{
@@ -17,6 +33,11 @@ void AppMux::deliver(net::Packet&& pkt, sim::TimeNs now) {
       if (auto udp = net::UdpHeader::parse(from_transport)) {
         auto it = udp_.find(udp->dst_port);
         if (it != udp_.end()) {
+          if (auto fit = udp_filters_.find(udp->dst_port);
+              fit != udp_filters_.end() && !fit->second->accept(pkt)) {
+            ++filtered_;
+            return;
+          }
           it->second(pkt, *udp,
                      from_transport.subspan(net::kUdpHeaderSize), now);
           return;
@@ -44,6 +65,17 @@ UdpSink::UdpSink(AppMux& mux, std::uint16_t port) {
   mux.on_udp(port, [this](const net::Packet&, const net::UdpHeader&,
                           std::span<const std::uint8_t> payload,
                           sim::TimeNs) { meter_.record(payload.size()); });
+}
+
+UdpSink::UdpSink(AppMux& mux, std::uint16_t port,
+                 std::shared_ptr<SocketFilter> f)
+    : filter_(std::move(f)) {
+  mux.on_udp(port, [this](const net::Packet& pkt, const net::UdpHeader&,
+                          std::span<const std::uint8_t> payload,
+                          sim::TimeNs) {
+    if (filter_ != nullptr && !filter_->accept(pkt)) return;
+    meter_.record(payload.size());
+  });
 }
 
 }  // namespace srv6bpf::apps

@@ -1,0 +1,91 @@
+#include "apps/socket_filter.h"
+
+#include <algorithm>
+
+#include "cbpf/expr.h"
+#include "cbpf/translate.h"
+
+namespace srv6bpf::apps {
+
+SocketFilter::SocketFilter(seg6::Netns& ns, std::string name)
+    : ns_(ns), name_(std::move(name)) {
+  skb_.protocol = ebpf::kEthPIpv6Be;
+  env_.now_ns = [&ns] { return ns.now(); };
+  env_.prandom = [&ns] { return ns.prandom(); };
+  // Region 0: the ctx struct (writable — the verifier confines program
+  // writes to skb->mark). Region 1: packet bytes, retargeted per run();
+  // socket-filter packets are read-only.
+  env_.regions.push_back(ebpf::MemRegion{
+      reinterpret_cast<std::uintptr_t>(&skb_), sizeof skb_, true});
+  env_.regions.push_back(ebpf::MemRegion{0, 0, false});
+}
+
+bool SocketFilter::attach(std::vector<cbpf::SockFilter> prog,
+                          std::string* error) {
+  cbpf::TranslateResult tr = cbpf::translate(prog);
+  if (!tr.ok) {
+    if (error != nullptr) *error = tr.error;
+    return false;
+  }
+  auto load = ns_.bpf().load(name_, ebpf::ProgType::kSocketFilter,
+                             std::move(tr.insns), prog.size());
+  if (!load.ok()) {
+    if (error != nullptr)
+      *error = "translated filter rejected by verifier: " + load.verify.error;
+    return false;
+  }
+  classic_ = std::move(prog);
+  prog_ = std::move(load.prog);
+  return true;
+}
+
+std::shared_ptr<SocketFilter> SocketFilter::from_expr(seg6::Netns& ns,
+                                                      std::string name,
+                                                      std::string_view expr,
+                                                      std::string* error) {
+  cbpf::CompileResult cr = cbpf::compile(expr);
+  if (!cr.ok) {
+    if (error != nullptr) *error = cr.error;
+    return nullptr;
+  }
+  std::shared_ptr<SocketFilter> f(new SocketFilter(ns, std::move(name)));
+  f->expr_ = std::string(expr);
+  if (!f->attach(std::move(cr.insns), error)) return nullptr;
+  return f;
+}
+
+std::shared_ptr<SocketFilter> SocketFilter::from_cbpf(
+    seg6::Netns& ns, std::string name, std::vector<cbpf::SockFilter> prog,
+    std::string* error) {
+  std::shared_ptr<SocketFilter> f(new SocketFilter(ns, std::move(name)));
+  if (!f->attach(std::move(prog), error)) return nullptr;
+  return f;
+}
+
+std::uint32_t SocketFilter::run(const net::Packet& pkt) {
+  skb_.data = reinterpret_cast<std::uint64_t>(pkt.data());
+  skb_.data_end = skb_.data + pkt.size();
+  skb_.len = static_cast<std::uint32_t>(pkt.size());
+  skb_.mark = pkt.mark;
+  skb_.ingress_ifindex = pkt.ingress_ifindex;
+  skb_.tstamp_ns = pkt.rx_tstamp_ns;
+  env_.regions[1] = ebpf::MemRegion{
+      reinterpret_cast<std::uintptr_t>(pkt.data()), pkt.size(), false};
+  env_.cpu_id = ns_.current_cpu;
+  const ebpf::ExecResult res = ns_.bpf().run(
+      *prog_, env_, reinterpret_cast<std::uint64_t>(&skb_));
+  return res.aborted ? 0 : static_cast<std::uint32_t>(res.ret);
+}
+
+bool SocketFilter::accept(const net::Packet& pkt) {
+  const std::uint32_t r = run(pkt);
+  if (r == 0) {
+    ++dropped_;
+    return false;
+  }
+  ++accepted_;
+  bytes_accepted_ += std::min<std::uint64_t>(r, pkt.size());
+  return true;
+}
+
+}  // namespace srv6bpf::apps

@@ -1,0 +1,493 @@
+#include "cbpf/expr.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+
+#include "net/ip6.h"
+
+namespace srv6bpf::cbpf {
+
+namespace {
+
+// ---- Scratch-slot convention shared with the header walk --------------------
+// M[0] = transport offset, M[1] = transport protocol, M[2]/M[3] = walk
+// scratch, M[4] = 1 if a routing (SRH) extension header was seen.
+constexpr std::uint32_t kMemXOff = 0;
+constexpr std::uint32_t kMemProto = 1;
+constexpr std::uint32_t kMemScratchA = 2;
+constexpr std::uint32_t kMemScratchB = 3;
+constexpr std::uint32_t kMemSrhSeen = 4;
+
+constexpr unsigned kWalkSteps = 4;  // chained ext headers seen through
+
+// ---- Lexer ------------------------------------------------------------------
+
+struct Lexer {
+  std::string_view src;
+  std::size_t pos = 0;
+
+  // Returns the next token, empty at end. Tokens are parens or maximal runs
+  // of address/identifier characters.
+  std::string_view next() {
+    while (pos < src.size() && std::isspace(static_cast<unsigned char>(src[pos])))
+      ++pos;
+    if (pos >= src.size()) return {};
+    if (src[pos] == '(' || src[pos] == ')') return src.substr(pos++, 1);
+    const std::size_t start = pos;
+    while (pos < src.size()) {
+      const char c = src[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+          c == '.' || c == '/' || c == '_')
+        ++pos;
+      else
+        break;
+    }
+    if (pos == start) ++pos;  // unknown char: emit it, parser will complain
+    return src.substr(start, pos - start);
+  }
+};
+
+// ---- AST --------------------------------------------------------------------
+
+enum class Dir { kEither, kSrc, kDst };
+
+struct Node {
+  enum Kind {
+    kOr, kAnd, kNot,
+    kIp6, kProto, kSrh, kHost, kNet, kPort, kGreater, kLess,
+  } kind;
+  std::unique_ptr<Node> a, b;
+  Dir dir = Dir::kEither;
+  std::uint32_t num = 0;
+  net::Ipv6Addr addr{};
+  int plen = 128;
+};
+using NodePtr = std::unique_ptr<Node>;
+
+struct Parser {
+  Lexer lex;
+  std::string_view tok;
+  std::string error;
+
+  void advance() { tok = lex.next(); }
+  bool failed() const { return !error.empty(); }
+  NodePtr fail(std::string msg) {
+    if (error.empty()) error = std::move(msg);
+    return nullptr;
+  }
+
+  static NodePtr make(Node::Kind k) {
+    auto n = std::make_unique<Node>();
+    n->kind = k;
+    return n;
+  }
+
+  std::optional<std::uint32_t> number(std::uint32_t max) {
+    if (tok.empty()) return std::nullopt;
+    char* end = nullptr;
+    const std::string t(tok);
+    const unsigned long v = std::strtoul(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0' || v > max) return std::nullopt;
+    advance();
+    return static_cast<std::uint32_t>(v);
+  }
+
+  NodePtr parse_expr() {
+    NodePtr n = parse_term();
+    while (n && tok == "or") {
+      advance();
+      NodePtr rhs = parse_term();
+      if (!rhs) return nullptr;
+      auto o = make(Node::kOr);
+      o->a = std::move(n);
+      o->b = std::move(rhs);
+      n = std::move(o);
+    }
+    return n;
+  }
+
+  NodePtr parse_term() {
+    NodePtr n = parse_factor();
+    while (n && tok == "and") {
+      advance();
+      NodePtr rhs = parse_factor();
+      if (!rhs) return nullptr;
+      auto a = make(Node::kAnd);
+      a->a = std::move(n);
+      a->b = std::move(rhs);
+      n = std::move(a);
+    }
+    return n;
+  }
+
+  NodePtr parse_factor() {
+    if (tok == "not") {
+      advance();
+      NodePtr inner = parse_factor();
+      if (!inner) return nullptr;
+      auto n = make(Node::kNot);
+      n->a = std::move(inner);
+      return n;
+    }
+    if (tok == "(") {
+      advance();
+      NodePtr inner = parse_expr();
+      if (!inner) return nullptr;
+      if (tok != ")") return fail("expected ')'");
+      advance();
+      return inner;
+    }
+    return parse_primitive();
+  }
+
+  NodePtr parse_primitive() {
+    if (tok.empty()) return fail("expected a primitive, got end of input");
+    Dir dir = Dir::kEither;
+    if (tok == "src" || tok == "dst") {
+      dir = tok == "src" ? Dir::kSrc : Dir::kDst;
+      advance();
+    }
+    if (tok == "host" || tok == "net") {
+      const bool is_net = tok == "net";
+      advance();
+      if (tok.empty()) return fail("expected an address");
+      auto pfx = net::Prefix::parse(tok);
+      if (!pfx) return fail("bad IPv6 address/prefix '" + std::string(tok) + "'");
+      advance();
+      auto n = make(is_net ? Node::kNet : Node::kHost);
+      n->dir = dir;
+      n->addr = pfx->addr;
+      n->plen = is_net ? pfx->len : 128;
+      return n;
+    }
+    if (tok == "port") {
+      advance();
+      auto v = number(0xffff);
+      if (!v) return fail("expected a port number");
+      auto n = make(Node::kPort);
+      n->dir = dir;
+      n->num = *v;
+      return n;
+    }
+    if (dir != Dir::kEither)
+      return fail("'src'/'dst' must be followed by host, net or port");
+    if (tok == "ip6" || tok == "ipv6") {
+      advance();
+      return make(Node::kIp6);
+    }
+    if (tok == "udp" || tok == "tcp" || tok == "icmp6") {
+      auto n = make(Node::kProto);
+      n->num = tok == "udp"   ? net::kProtoUdp
+               : tok == "tcp" ? net::kProtoTcp
+                              : net::kProtoIcmp6;
+      advance();
+      return n;
+    }
+    if (tok == "proto") {
+      advance();
+      auto v = number(0xff);
+      if (!v) return fail("expected a protocol number");
+      auto n = make(Node::kProto);
+      n->num = *v;
+      return n;
+    }
+    if (tok == "srh") {
+      advance();
+      return make(Node::kSrh);
+    }
+    if (tok == "greater" || tok == "less") {
+      const bool greater = tok == "greater";
+      advance();
+      auto v = number(0xffffffff);
+      if (!v) return fail("expected a length");
+      auto n = make(greater ? Node::kGreater : Node::kLess);
+      n->num = *v;
+      return n;
+    }
+    return fail("unknown primitive '" + std::string(tok) + "'");
+  }
+};
+
+bool needs_transport(const Node* n) {
+  if (n == nullptr) return false;
+  switch (n->kind) {
+    case Node::kProto:
+    case Node::kPort:
+    case Node::kSrh:
+      return true;
+    default:
+      return needs_transport(n->a.get()) || needs_transport(n->b.get());
+  }
+}
+
+// ---- Label-resolving mini-assembler -----------------------------------------
+
+class Masm {
+ public:
+  static constexpr int kFall = -1;  // "fall through to the next instruction"
+
+  int label() {
+    targets_.push_back(-1);
+    return static_cast<int>(targets_.size()) - 1;
+  }
+  void place(int l) { targets_[l] = static_cast<int>(out_.size()); }
+
+  void op(std::uint16_t code, std::uint32_t k) { out_.push_back(stmt(code, k)); }
+
+  // Conditional jump on A: true -> lt, false -> lf (kFall = next insn).
+  void jcond(std::uint16_t code, std::uint32_t k, int lt, int lf) {
+    relocs_.push_back({out_.size(), lt, lf, false});
+    out_.push_back(jump(code, k, 0, 0));
+  }
+  void ja(int l) {
+    relocs_.push_back({out_.size(), l, kFall, true});
+    out_.push_back(stmt(BPF_JMP | BPF_JA, 0));
+  }
+
+  bool finish(std::vector<SockFilter>& insns, std::string& error) {
+    for (const Reloc& r : relocs_) {
+      const auto dist = [&](int label) -> long {
+        if (label == kFall) return 0;
+        return targets_[label] - static_cast<long>(r.idx) - 1;
+      };
+      const long dt = dist(r.lt), df = dist(r.lf);
+      if (dt < 0 || df < 0) {
+        error = "internal: backward jump in generated filter";
+        return false;
+      }
+      if (r.is_ja) {
+        out_[r.idx].k = static_cast<std::uint32_t>(dt);
+        continue;
+      }
+      if (dt > 255 || df > 255) {
+        error = "expression too complex for classic BPF jump offsets";
+        return false;
+      }
+      out_[r.idx].jt = static_cast<std::uint8_t>(dt);
+      out_[r.idx].jf = static_cast<std::uint8_t>(df);
+    }
+    insns = std::move(out_);
+    return true;
+  }
+
+ private:
+  struct Reloc {
+    std::size_t idx;
+    int lt, lf;
+    bool is_ja;
+  };
+  std::vector<SockFilter> out_;
+  std::vector<int> targets_;
+  std::vector<Reloc> relocs_;
+};
+
+// ---- Extension-header walk prologue -----------------------------------------
+//
+// Leaves M[0] = transport offset, M[1] = transport protocol, M[4] = SRH
+// flag. Entry state per step: A = current next-header value, X = offset of
+// the header it describes. Unrolled kWalkSteps times; deeper chains simply
+// stop early and the unconsumed protocol number won't match any transport
+// primitive, which is also what tcpdump's limited chase does.
+void emit_walk(Masm& m) {
+  m.op(BPF_LDX | BPF_IMM, net::kIpv6HeaderSize);  // X = 40
+  m.op(BPF_LD | BPF_B | BPF_ABS, 6);              // A = next-header field
+  const int done = m.label();
+  for (unsigned step = 0; step < kWalkSteps; ++step) {
+    const int rt = m.label(), ext = m.label(), ip6 = m.label();
+    const int next = m.label();
+    m.jcond(BPF_JMP | BPF_JEQ | BPF_K, net::kProtoRouting, rt, Masm::kFall);
+    m.jcond(BPF_JMP | BPF_JEQ | BPF_K, 0 /*hop-by-hop*/, ext, Masm::kFall);
+    m.jcond(BPF_JMP | BPF_JEQ | BPF_K, 60 /*dst options*/, ext, Masm::kFall);
+    m.jcond(BPF_JMP | BPF_JEQ | BPF_K, net::kProtoIpv6, ip6, done);
+    m.place(rt);  // routing header: note the SRH, then generic ext skip
+    m.op(BPF_LD | BPF_IMM, 1);
+    m.op(BPF_ST, kMemSrhSeen);
+    m.place(ext);  // generic ext header: nh = P[X], size = (P[X+1] + 1) * 8
+    m.op(BPF_LD | BPF_B | BPF_IND, 0);
+    m.op(BPF_ST, kMemScratchB);                  // M[3] = next proto
+    m.op(BPF_LD | BPF_B | BPF_IND, 1);
+    m.op(BPF_ALU | BPF_ADD | BPF_K, 1);
+    m.op(BPF_ALU | BPF_LSH | BPF_K, 3);          // A = header size
+    m.op(BPF_STX, kMemScratchA);                 // M[2] = old offset
+    m.op(BPF_MISC | BPF_TAX, 0);                 // X = size
+    m.op(BPF_LD | BPF_MEM, kMemScratchA);        // A = old offset
+    m.op(BPF_ALU | BPF_ADD | BPF_X, 0);          // A = offset + size
+    m.op(BPF_MISC | BPF_TAX, 0);                 // X = new offset
+    m.op(BPF_LD | BPF_MEM, kMemScratchB);        // A = next proto
+    m.ja(next);
+    m.place(ip6);  // IPv6-in-IPv6: nh = P[X+6], inner header at X + 40
+    m.op(BPF_LD | BPF_B | BPF_IND, 6);
+    m.op(BPF_ST, kMemScratchB);
+    m.op(BPF_MISC | BPF_TXA, 0);
+    m.op(BPF_ALU | BPF_ADD | BPF_K, net::kIpv6HeaderSize);
+    m.op(BPF_MISC | BPF_TAX, 0);
+    m.op(BPF_LD | BPF_MEM, kMemScratchB);
+    m.place(next);
+  }
+  m.place(done);
+  m.op(BPF_ST, kMemProto);   // M[1] = transport protocol
+  m.op(BPF_STX, kMemXOff);   // M[0] = transport offset
+}
+
+// ---- Code generation --------------------------------------------------------
+
+class Gen {
+ public:
+  explicit Gen(Masm& m) : m_(m) {}
+
+  void gen(const Node* n, int lt, int lf) {
+    switch (n->kind) {
+      case Node::kOr: {
+        const int mid = m_.label();
+        gen(n->a.get(), lt, mid);
+        m_.place(mid);
+        gen(n->b.get(), lt, lf);
+        return;
+      }
+      case Node::kAnd: {
+        const int mid = m_.label();
+        gen(n->a.get(), mid, lf);
+        m_.place(mid);
+        gen(n->b.get(), lt, lf);
+        return;
+      }
+      case Node::kNot:
+        gen(n->a.get(), lf, lt);
+        return;
+      case Node::kIp6:
+        m_.op(BPF_LD | BPF_B | BPF_ABS, 0);
+        m_.op(BPF_ALU | BPF_RSH | BPF_K, 4);
+        m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, 6, lt, lf);
+        return;
+      case Node::kProto:
+        m_.op(BPF_LD | BPF_MEM, kMemProto);
+        m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, n->num, lt, lf);
+        return;
+      case Node::kSrh:
+        m_.op(BPF_LD | BPF_MEM, kMemSrhSeen);
+        m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, 1, lt, lf);
+        return;
+      case Node::kHost:
+      case Node::kNet:
+        gen_addr(n, lt, lf);
+        return;
+      case Node::kPort:
+        gen_port(n, lt, lf);
+        return;
+      case Node::kGreater:
+        m_.op(BPF_LD | BPF_W | BPF_LEN, 0);
+        m_.jcond(BPF_JMP | BPF_JGE | BPF_K, n->num, lt, lf);
+        return;
+      case Node::kLess:
+        m_.op(BPF_LD | BPF_W | BPF_LEN, 0);
+        m_.jcond(BPF_JMP | BPF_JGT | BPF_K, n->num, lf, lt);
+        return;
+    }
+  }
+
+ private:
+  // One 16-byte address compare against the outer IPv6 header, masked to
+  // `plen` bits; src at byte 8, dst at byte 24.
+  void match_one(std::uint32_t base, const net::Ipv6Addr& addr, int plen,
+                 int lt, int lf) {
+    if (plen <= 0) {
+      m_.ja(lt);
+      return;
+    }
+    const auto& b = addr.bytes();
+    for (int w = 0; w * 32 < plen; ++w) {
+      const int bits = std::min(32, plen - w * 32);
+      const std::uint32_t word = static_cast<std::uint32_t>(b[w * 4]) << 24 |
+                                 static_cast<std::uint32_t>(b[w * 4 + 1]) << 16 |
+                                 static_cast<std::uint32_t>(b[w * 4 + 2]) << 8 |
+                                 b[w * 4 + 3];
+      const std::uint32_t mask =
+          bits == 32 ? 0xffffffffu : ~(0xffffffffu >> bits);
+      const bool last = (w + 1) * 32 >= plen;
+      m_.op(BPF_LD | BPF_W | BPF_ABS, base + 4 * static_cast<std::uint32_t>(w));
+      if (bits < 32) m_.op(BPF_ALU | BPF_AND | BPF_K, mask);
+      m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, word & mask,
+               last ? lt : Masm::kFall, lf);
+    }
+  }
+
+  void gen_addr(const Node* n, int lt, int lf) {
+    constexpr std::uint32_t kSrcOff = 8, kDstOff = 24;
+    switch (n->dir) {
+      case Dir::kSrc:
+        match_one(kSrcOff, n->addr, n->plen, lt, lf);
+        return;
+      case Dir::kDst:
+        match_one(kDstOff, n->addr, n->plen, lt, lf);
+        return;
+      case Dir::kEither: {
+        const int try_dst = m_.label();
+        match_one(kSrcOff, n->addr, n->plen, lt, try_dst);
+        m_.place(try_dst);
+        match_one(kDstOff, n->addr, n->plen, lt, lf);
+        return;
+      }
+    }
+  }
+
+  void gen_port(const Node* n, int lt, int lf) {
+    // Ports only exist for TCP/UDP; anything else cannot match.
+    const int is_l4 = m_.label();
+    m_.op(BPF_LD | BPF_MEM, kMemProto);
+    m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, net::kProtoTcp, is_l4, Masm::kFall);
+    m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, net::kProtoUdp, is_l4, lf);
+    m_.place(is_l4);
+    m_.op(BPF_LDX | BPF_MEM, kMemXOff);
+    if (n->dir == Dir::kSrc || n->dir == Dir::kEither) {
+      m_.op(BPF_LD | BPF_H | BPF_IND, 0);
+      m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, n->num, lt,
+               n->dir == Dir::kSrc ? lf : Masm::kFall);
+    }
+    if (n->dir == Dir::kDst || n->dir == Dir::kEither) {
+      m_.op(BPF_LD | BPF_H | BPF_IND, 2);
+      m_.jcond(BPF_JMP | BPF_JEQ | BPF_K, n->num, lt, lf);
+    }
+  }
+
+  Masm& m_;
+};
+
+}  // namespace
+
+CompileResult compile(std::string_view expr) {
+  CompileResult res;
+  Parser p{Lexer{expr, 0}, {}, {}};
+  p.advance();
+  NodePtr ast = p.parse_expr();
+  if (!ast || p.failed()) {
+    res.error = p.failed() ? p.error : "empty expression";
+    return res;
+  }
+  if (!p.tok.empty()) {
+    res.error = "trailing input '" + std::string(p.tok) + "'";
+    return res;
+  }
+
+  Masm m;
+  if (needs_transport(ast.get())) emit_walk(m);
+  const int lt = m.label(), lf = m.label();
+  Gen(m).gen(ast.get(), lt, lf);
+  m.place(lt);
+  m.op(BPF_RET | BPF_K, 0xffff);  // accept whole packet
+  m.place(lf);
+  m.op(BPF_RET | BPF_K, 0);       // drop
+
+  if (!m.finish(res.insns, res.error)) return res;
+  if (CheckResult chk = check(res.insns); !chk.ok) {
+    res.error = "generated filter failed check at insn " +
+                std::to_string(chk.error_insn) + ": " + chk.error;
+    res.insns.clear();
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace srv6bpf::cbpf

@@ -1,0 +1,50 @@
+// tcpdump-style filter expressions compiled to classic BPF.
+//
+// The pipeline mirrors libpcap: a lexer and recursive-descent parser build a
+// tiny AST, then code generation walks it with (true, false) continuation
+// labels, emitting classic BPF through a label-resolving mini-assembler.
+// The resulting program returns 65535 (accept whole packet) on match and 0
+// (drop) otherwise — feed it to translate() and it runs on any engine.
+//
+// Grammar (packets in this simulator are raw IPv6, no link-layer header):
+//
+//   expr   := term ("or" term)*
+//   term   := factor ("and" factor)*
+//   factor := "not" factor | "(" expr ")" | primitive
+//   primitive :=
+//       "ip6"                       version nibble == 6
+//     | "udp" | "tcp" | "icmp6"    transport protocol after ext headers
+//     | "proto" NUM                 explicit transport protocol number
+//     | "srh"                       an SRv6/routing extension header present
+//     | [dir] "host" ADDR           outer src/dst address equals ADDR
+//     | [dir] "net" PREFIX          outer src/dst address within PREFIX
+//     | [dir] "port" NUM            UDP/TCP source/destination port
+//     | "greater" NUM | "less" NUM  packet length >= / <= NUM
+//   dir := "src" | "dst"            (omitted: match either side)
+//
+// Transport-layer primitives see through IPv6 extension headers: the
+// generated prologue walks up to four chained headers (hop-by-hop, routing —
+// the SRH —, destination options, and IPv6-in-IPv6 encapsulation) with
+// classic BPF_IND loads, leaving the transport offset in M[0], the transport
+// protocol in M[1], and an SRH-seen flag in M[4]. That is what lets a single
+// `filter("udp and dst port 7001")` match both plain UDP and the paper's
+// SRH-encapsulated monitoring traffic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cbpf/insn.h"
+
+namespace srv6bpf::cbpf {
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;              // parse/codegen diagnostics
+  std::vector<SockFilter> insns;  // classic program (empty on failure)
+};
+
+CompileResult compile(std::string_view expr);
+
+}  // namespace srv6bpf::cbpf

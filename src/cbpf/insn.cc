@@ -1,0 +1,229 @@
+#include "cbpf/insn.h"
+
+#include <cstdio>
+
+namespace srv6bpf::cbpf {
+
+namespace {
+
+CheckResult fail(int idx, std::string msg) {
+  return CheckResult{false, std::move(msg), idx};
+}
+
+bool valid_alu(const SockFilter& in) {
+  switch (in.alu_op()) {
+    case BPF_ADD: case BPF_SUB: case BPF_MUL: case BPF_DIV:
+    case BPF_OR: case BPF_AND: case BPF_LSH: case BPF_RSH:
+    case BPF_MOD: case BPF_XOR:
+      return (in.code & ~0xf8u) == BPF_ALU;
+    case BPF_NEG:
+      return in.code == (BPF_ALU | BPF_NEG);
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult check(const std::vector<SockFilter>& prog) {
+  if (prog.empty()) return fail(-1, "empty classic program");
+  if (prog.size() > static_cast<std::size_t>(kMaxInsns))
+    return fail(-1, "classic program exceeds BPF_MAXINSNS");
+  const std::uint32_t len = static_cast<std::uint32_t>(prog.size());
+
+  for (std::uint32_t pc = 0; pc < len; ++pc) {
+    const SockFilter& in = prog[pc];
+    switch (in.insn_class()) {
+      case BPF_LD:
+        switch (in.code) {
+          case BPF_LD | BPF_IMM:
+          case BPF_LD | BPF_W | BPF_ABS:
+          case BPF_LD | BPF_H | BPF_ABS:
+          case BPF_LD | BPF_B | BPF_ABS:
+          case BPF_LD | BPF_W | BPF_IND:
+          case BPF_LD | BPF_H | BPF_IND:
+          case BPF_LD | BPF_B | BPF_IND:
+          case BPF_LD | BPF_W | BPF_LEN:
+            break;
+          case BPF_LD | BPF_MEM:
+            if (in.k >= kMemWords) return fail(pc, "M[] index out of range");
+            break;
+          default:
+            return fail(pc, "unknown LD opcode");
+        }
+        break;
+      case BPF_LDX:
+        switch (in.code) {
+          case BPF_LDX | BPF_IMM:
+          case BPF_LDX | BPF_W | BPF_LEN:
+            break;
+          case BPF_LDX | BPF_MEM:
+            if (in.k >= kMemWords) return fail(pc, "M[] index out of range");
+            break;
+          case BPF_LDX | BPF_B | BPF_MSH:
+            break;
+          default:
+            return fail(pc, "unknown LDX opcode");
+        }
+        break;
+      case BPF_ST:
+      case BPF_STX:
+        if (in.code != (in.insn_class() | BPF_MEM) && in.code != in.insn_class())
+          return fail(pc, "unknown store opcode");
+        if (in.k >= kMemWords) return fail(pc, "M[] index out of range");
+        break;
+      case BPF_ALU:
+        if (!valid_alu(in)) return fail(pc, "unknown ALU opcode");
+        if (!in.uses_x()) {
+          const auto op = in.alu_op();
+          if ((op == BPF_DIV || op == BPF_MOD) && in.k == 0)
+            return fail(pc, "division by zero constant");
+          if ((op == BPF_LSH || op == BPF_RSH) && in.k > 31)
+            return fail(pc, "shift amount out of range");
+        }
+        break;
+      case BPF_JMP:
+        // Classic jumps are forward-only; targets must stay inside the
+        // program. JA's offset is the 32-bit k, the conditionals use the
+        // 8-bit jt/jf pair.
+        if (in.code == (BPF_JMP | BPF_JA)) {
+          if (in.k >= len - pc - 1) return fail(pc, "jump out of range");
+          break;
+        }
+        switch (in.jmp_op()) {
+          case BPF_JEQ: case BPF_JGT: case BPF_JGE: case BPF_JSET:
+            if ((in.code & ~0xf8u) != BPF_JMP)
+              return fail(pc, "unknown JMP opcode");
+            if (pc + 1 + in.jt >= len || pc + 1 + in.jf >= len)
+              return fail(pc, "jump out of range");
+            break;
+          default:
+            return fail(pc, "unknown JMP opcode");
+        }
+        break;
+      case BPF_RET:
+        if (in.code != (BPF_RET | BPF_K) && in.code != (BPF_RET | BPF_A))
+          return fail(pc, "unknown RET opcode");
+        break;
+      case BPF_MISC:
+        if (in.code != (BPF_MISC | BPF_TAX) && in.code != (BPF_MISC | BPF_TXA))
+          return fail(pc, "unknown MISC opcode");
+        break;
+      default:
+        return fail(pc, "unknown instruction class");
+    }
+  }
+
+  if (prog.back().insn_class() != BPF_RET)
+    return fail(static_cast<int>(len) - 1, "program must end with RET");
+  return CheckResult{true, {}, -1};
+}
+
+std::string disasm(const SockFilter& in) {
+  char buf[96];
+  int n = -1;
+  const char* sz = in.size_field() == BPF_H   ? "h"
+                   : in.size_field() == BPF_B ? "b"
+                                              : "";
+  switch (in.insn_class()) {
+    case BPF_LD:
+    case BPF_LDX: {
+      const char* reg = in.insn_class() == BPF_LDX ? "ldx" : "ld";
+      switch (in.mode_field()) {
+        case BPF_IMM:
+          n = std::snprintf(buf, sizeof buf, "%s #0x%x", reg, in.k);
+          break;
+        case BPF_ABS:
+          n = std::snprintf(buf, sizeof buf, "%s%s [%u]", reg, sz, in.k);
+          break;
+        case BPF_IND:
+          n = std::snprintf(buf, sizeof buf, "%s%s [x + %u]", reg, sz, in.k);
+          break;
+        case BPF_MEM:
+          n = std::snprintf(buf, sizeof buf, "%s M[%u]", reg, in.k);
+          break;
+        case BPF_LEN:
+          n = std::snprintf(buf, sizeof buf, "%s #pktlen", reg);
+          break;
+        case BPF_MSH:
+          n = std::snprintf(buf, sizeof buf, "ldxb 4*([%u]&0xf)", in.k);
+          break;
+      }
+      break;
+    }
+    case BPF_ST:
+      n = std::snprintf(buf, sizeof buf, "st M[%u]", in.k);
+      break;
+    case BPF_STX:
+      n = std::snprintf(buf, sizeof buf, "stx M[%u]", in.k);
+      break;
+    case BPF_ALU: {
+      const char* op = nullptr;
+      switch (in.alu_op()) {
+        case BPF_ADD: op = "add"; break;
+        case BPF_SUB: op = "sub"; break;
+        case BPF_MUL: op = "mul"; break;
+        case BPF_DIV: op = "div"; break;
+        case BPF_OR:  op = "or"; break;
+        case BPF_AND: op = "and"; break;
+        case BPF_LSH: op = "lsh"; break;
+        case BPF_RSH: op = "rsh"; break;
+        case BPF_MOD: op = "mod"; break;
+        case BPF_XOR: op = "xor"; break;
+        case BPF_NEG:
+          n = std::snprintf(buf, sizeof buf, "neg");
+          break;
+      }
+      if (op != nullptr) {
+        n = in.uses_x() ? std::snprintf(buf, sizeof buf, "%s x", op)
+                        : std::snprintf(buf, sizeof buf, "%s #0x%x", op, in.k);
+      }
+      break;
+    }
+    case BPF_JMP: {
+      if (in.code == (BPF_JMP | BPF_JA)) {
+        n = std::snprintf(buf, sizeof buf, "ja +%u", in.k);
+        break;
+      }
+      const char* op = nullptr;
+      switch (in.jmp_op()) {
+        case BPF_JEQ: op = "jeq"; break;
+        case BPF_JGT: op = "jgt"; break;
+        case BPF_JGE: op = "jge"; break;
+        case BPF_JSET: op = "jset"; break;
+      }
+      if (op != nullptr) {
+        n = in.uses_x()
+                ? std::snprintf(buf, sizeof buf, "%s x jt %u jf %u", op, in.jt,
+                                in.jf)
+                : std::snprintf(buf, sizeof buf, "%s #0x%x jt %u jf %u", op,
+                                in.k, in.jt, in.jf);
+      }
+      break;
+    }
+    case BPF_RET:
+      n = (in.code & BPF_A) ? std::snprintf(buf, sizeof buf, "ret a")
+                            : std::snprintf(buf, sizeof buf, "ret #%u", in.k);
+      break;
+    case BPF_MISC:
+      n = std::snprintf(buf, sizeof buf,
+                        (in.code & BPF_TXA) ? "txa" : "tax");
+      break;
+  }
+  if (n < 0) n = std::snprintf(buf, sizeof buf, "unimp 0x%x", in.code);
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+std::string disasm(const std::vector<SockFilter>& prog) {
+  std::string out;
+  out.reserve(prog.size() * 32);
+  char head[32];
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    std::snprintf(head, sizeof head, "(%03zu) ", i);
+    out += head;
+    out += disasm(prog[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace srv6bpf::cbpf

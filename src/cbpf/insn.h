@@ -1,0 +1,133 @@
+// Classic BPF ("cBPF"): the original Berkeley Packet Filter instruction set
+// of McCanne & Jacobson (1993), still the wire format userspace hands to
+// SO_ATTACH_FILTER and the output format of `tcpdump -ddd`.
+//
+// A classic program is an array of fixed-size 64-bit instructions operating
+// on a 32-bit accumulator A, a 32-bit index register X, and 16 scratch words
+// M[0..15]. Packets are read through the legacy BPF_ABS / BPF_IND addressing
+// modes; the program returns an unsigned 32-bit "accept length" (0 = drop).
+// The kernel never executes this form directly anymore: it validates it
+// (bpf_check_classic) and translates it to eBPF (bpf_convert_filter). This
+// module reproduces both, plus a reference interpreter used as the oracle
+// for the translator differential test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srv6bpf::cbpf {
+
+// ---- Instruction classes (low 3 bits of code) -------------------------------
+inline constexpr std::uint16_t BPF_LD = 0x00;   // load into A
+inline constexpr std::uint16_t BPF_LDX = 0x01;  // load into X
+inline constexpr std::uint16_t BPF_ST = 0x02;   // M[k] = A
+inline constexpr std::uint16_t BPF_STX = 0x03;  // M[k] = X
+inline constexpr std::uint16_t BPF_ALU = 0x04;  // A = A op (k | X)
+inline constexpr std::uint16_t BPF_JMP = 0x05;  // forward-only jumps
+inline constexpr std::uint16_t BPF_RET = 0x06;  // return accept length
+inline constexpr std::uint16_t BPF_MISC = 0x07; // TAX / TXA
+
+// ---- Size field for LD/LDX (bits 3-4) ---------------------------------------
+inline constexpr std::uint16_t BPF_W = 0x00;  // 4 bytes
+inline constexpr std::uint16_t BPF_H = 0x08;  // 2 bytes
+inline constexpr std::uint16_t BPF_B = 0x10;  // 1 byte
+
+// ---- Mode field for LD/LDX (bits 5-7) ---------------------------------------
+inline constexpr std::uint16_t BPF_IMM = 0x00;  // A/X = k
+inline constexpr std::uint16_t BPF_ABS = 0x20;  // A = pkt[k], big-endian
+inline constexpr std::uint16_t BPF_IND = 0x40;  // A = pkt[X + k], big-endian
+inline constexpr std::uint16_t BPF_MEM = 0x60;  // A/X = M[k]
+inline constexpr std::uint16_t BPF_LEN = 0x80;  // A/X = packet length
+inline constexpr std::uint16_t BPF_MSH = 0xa0;  // X = 4 * (pkt[k] & 0xf)
+
+// ---- ALU operations (bits 4-7) ----------------------------------------------
+inline constexpr std::uint16_t BPF_ADD = 0x00;
+inline constexpr std::uint16_t BPF_SUB = 0x10;
+inline constexpr std::uint16_t BPF_MUL = 0x20;
+inline constexpr std::uint16_t BPF_DIV = 0x30;
+inline constexpr std::uint16_t BPF_OR = 0x40;
+inline constexpr std::uint16_t BPF_AND = 0x50;
+inline constexpr std::uint16_t BPF_LSH = 0x60;
+inline constexpr std::uint16_t BPF_RSH = 0x70;
+inline constexpr std::uint16_t BPF_NEG = 0x80;
+inline constexpr std::uint16_t BPF_MOD = 0x90;
+inline constexpr std::uint16_t BPF_XOR = 0xa0;
+
+// ---- JMP operations (bits 4-7); all compare A, all jump forward -------------
+inline constexpr std::uint16_t BPF_JA = 0x00;
+inline constexpr std::uint16_t BPF_JEQ = 0x10;
+inline constexpr std::uint16_t BPF_JGT = 0x20;
+inline constexpr std::uint16_t BPF_JGE = 0x30;
+inline constexpr std::uint16_t BPF_JSET = 0x40;
+
+// Source operand (bit 3): K = immediate, X = index register.
+inline constexpr std::uint16_t BPF_K = 0x00;
+inline constexpr std::uint16_t BPF_X = 0x08;
+// RET source (bits 3-4): RET|K returns k, RET|A returns the accumulator.
+inline constexpr std::uint16_t BPF_A = 0x10;
+
+// ---- MISC operations (bit 7) ------------------------------------------------
+inline constexpr std::uint16_t BPF_TAX = 0x00;  // X = A
+inline constexpr std::uint16_t BPF_TXA = 0x80;  // A = X
+
+inline constexpr int kMemWords = 16;     // scratch words M[0..15]
+inline constexpr int kMaxInsns = 4096;   // BPF_MAXINSNS
+
+// One classic BPF instruction, bit-for-bit the kernel's `struct sock_filter`.
+struct SockFilter {
+  std::uint16_t code = 0;
+  std::uint8_t jt = 0;   // jump-true offset (pc += jt + 1)
+  std::uint8_t jf = 0;   // jump-false offset
+  std::uint32_t k = 0;   // generic multiuse field
+
+  constexpr std::uint16_t insn_class() const noexcept { return code & 0x07; }
+  constexpr std::uint16_t size_field() const noexcept { return code & 0x18; }
+  constexpr std::uint16_t mode_field() const noexcept { return code & 0xe0; }
+  constexpr std::uint16_t alu_op() const noexcept { return code & 0xf0; }
+  constexpr std::uint16_t jmp_op() const noexcept { return code & 0xf0; }
+  constexpr bool uses_x() const noexcept { return code & BPF_X; }
+
+  friend constexpr bool operator==(const SockFilter&,
+                                   const SockFilter&) = default;
+};
+
+static_assert(sizeof(SockFilter) == 8, "sock_filter is 64 bits on the wire");
+
+// Convenience constructors matching the classic BPF_STMT / BPF_JUMP macros.
+constexpr SockFilter stmt(std::uint16_t code, std::uint32_t k) noexcept {
+  return SockFilter{code, 0, 0, k};
+}
+constexpr SockFilter jump(std::uint16_t code, std::uint32_t k, std::uint8_t jt,
+                          std::uint8_t jf) noexcept {
+  return SockFilter{code, jt, jf, k};
+}
+
+// Byte width of an ABS/IND packet load.
+constexpr unsigned load_size(std::uint16_t size_field) noexcept {
+  switch (size_field) {
+    case BPF_W: return 4;
+    case BPF_H: return 2;
+    case BPF_B: return 1;
+  }
+  return 0;
+}
+
+// Static validation, mirroring the kernel's bpf_check_classic: every opcode
+// must be one the translator knows, jumps must stay forward and in range,
+// scratch indices must be < 16, constant shifts < 32, constant divisors
+// nonzero, and the last instruction must be a RET.
+struct CheckResult {
+  bool ok = false;
+  std::string error;   // empty on success
+  int error_insn = -1; // instruction index the error refers to
+};
+
+CheckResult check(const std::vector<SockFilter>& prog);
+
+// Disassemble one instruction / a whole program in the style of `tcpdump -d`
+// (e.g. "ld [12]", "jeq #0x86dd jt 2 jf 5", "ret #65535").
+std::string disasm(const SockFilter& insn);
+std::string disasm(const std::vector<SockFilter>& prog);
+
+}  // namespace srv6bpf::cbpf

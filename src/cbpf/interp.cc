@@ -1,0 +1,107 @@
+#include "cbpf/interp.h"
+
+namespace srv6bpf::cbpf {
+
+namespace {
+
+// Big-endian packet reads with the classic "any failure drops" contract.
+bool load_pkt(const std::uint8_t* pkt, std::size_t pkt_len, std::uint32_t off,
+              unsigned size, std::uint32_t& out) {
+  if (off > pkt_len || size > pkt_len - off) return false;
+  const std::uint8_t* p = pkt + off;
+  switch (size) {
+    case 1: out = p[0]; return true;
+    case 2: out = static_cast<std::uint32_t>(p[0]) << 8 | p[1]; return true;
+    case 4:
+      out = static_cast<std::uint32_t>(p[0]) << 24 |
+            static_cast<std::uint32_t>(p[1]) << 16 |
+            static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t run(const std::vector<SockFilter>& prog, const std::uint8_t* pkt,
+                  std::size_t pkt_len) {
+  std::uint32_t A = 0, X = 0;
+  std::uint32_t M[kMemWords] = {};
+  const std::uint32_t len = static_cast<std::uint32_t>(pkt_len);
+
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const SockFilter& in = prog[pc];
+    switch (in.code) {
+      case BPF_LD | BPF_IMM: A = in.k; break;
+      case BPF_LD | BPF_MEM: A = M[in.k]; break;
+      case BPF_LD | BPF_W | BPF_LEN: A = len; break;
+      case BPF_LD | BPF_W | BPF_ABS:
+      case BPF_LD | BPF_H | BPF_ABS:
+      case BPF_LD | BPF_B | BPF_ABS:
+        if (!load_pkt(pkt, pkt_len, in.k, load_size(in.size_field()), A))
+          return 0;
+        break;
+      case BPF_LD | BPF_W | BPF_IND:
+      case BPF_LD | BPF_H | BPF_IND:
+      case BPF_LD | BPF_B | BPF_IND:
+        if (!load_pkt(pkt, pkt_len, X + in.k, load_size(in.size_field()), A))
+          return 0;
+        break;
+      case BPF_LDX | BPF_IMM: X = in.k; break;
+      case BPF_LDX | BPF_MEM: X = M[in.k]; break;
+      case BPF_LDX | BPF_W | BPF_LEN: X = len; break;
+      case BPF_LDX | BPF_B | BPF_MSH: {
+        std::uint32_t b;
+        if (!load_pkt(pkt, pkt_len, in.k, 1, b)) return 0;
+        X = (b & 0xf) << 2;
+        break;
+      }
+      case BPF_ST: case BPF_ST | BPF_MEM: M[in.k] = A; break;
+      case BPF_STX: case BPF_STX | BPF_MEM: M[in.k] = X; break;
+      case BPF_RET | BPF_K: return in.k;
+      case BPF_RET | BPF_A: return A;
+      case BPF_MISC | BPF_TAX: X = A; break;
+      case BPF_MISC | BPF_TXA: A = X; break;
+      case BPF_JMP | BPF_JA: pc += in.k; break;
+      default: {
+        if (in.insn_class() == BPF_ALU) {
+          const std::uint32_t b = in.uses_x() ? X : in.k;
+          switch (in.alu_op()) {
+            case BPF_ADD: A += b; break;
+            case BPF_SUB: A -= b; break;
+            case BPF_MUL: A *= b; break;
+            case BPF_DIV:
+              if (b == 0) return 0;
+              A /= b;
+              break;
+            case BPF_MOD:
+              if (b == 0) return 0;
+              A %= b;
+              break;
+            case BPF_OR: A |= b; break;
+            case BPF_AND: A &= b; break;
+            case BPF_XOR: A ^= b; break;
+            case BPF_LSH: A <<= (b & 31); break;
+            case BPF_RSH: A >>= (b & 31); break;
+            case BPF_NEG: A = 0 - A; break;
+          }
+          break;
+        }
+        // Conditional jump: compare A against k or X, take jt/jf.
+        const std::uint32_t b = in.uses_x() ? X : in.k;
+        bool taken = false;
+        switch (in.jmp_op()) {
+          case BPF_JEQ: taken = A == b; break;
+          case BPF_JGT: taken = A > b; break;
+          case BPF_JGE: taken = A >= b; break;
+          case BPF_JSET: taken = (A & b) != 0; break;
+        }
+        pc += taken ? in.jt : in.jf;
+        break;
+      }
+    }
+  }
+  return 0;  // unreachable for checked programs (they end in RET)
+}
+
+}  // namespace srv6bpf::cbpf

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "ebpf/helpers.h"
 #include "ebpf/jit.h"
 
 namespace srv6bpf::ebpf {
@@ -50,8 +51,8 @@ std::string disasm(const DecodedInsn& op) {
                         " -> %d",
                         opkind_name(k), op.dst, op.imm64, op.target);
   } else if (k == kCall) {
-    len = std::snprintf(buf, sizeof buf, "%-10s helper#%d", opkind_name(k),
-                        op.imm);
+    len = std::snprintf(buf, sizeof buf, "%-10s %s", opkind_name(k),
+                        helper_name(op.imm).c_str());
   } else {  // kExit (or out-of-range)
     len = std::snprintf(buf, sizeof buf, "%s", opkind_name(k));
   }

@@ -6,6 +6,7 @@
 
 #include "ebpf/map.h"
 #include "ebpf/perf_event.h"
+#include "ebpf/skb.h"
 
 namespace srv6bpf::ebpf {
 
@@ -104,6 +105,28 @@ std::uint64_t do_perf_event_output(ExecEnv& env, std::uint64_t /*ctx*/,
              : static_cast<std::uint64_t>(kErrNoSpace);
 }
 
+std::uint64_t do_skb_load_bytes(ExecEnv& env, std::uint64_t ctx,
+                                std::uint64_t offset, std::uint64_t to,
+                                std::uint64_t len, std::uint64_t) {
+  // bpf_skb_load_bytes(skb, offset, to, len): copy packet bytes into program
+  // memory. This is how translated classic filters read at variable offsets
+  // (BPF_IND / BPF_MSH) — the verifier cannot prove direct packet loads at
+  // runtime-computed offsets, so the kernel routes them through this helper.
+  const auto* skb = reinterpret_cast<const SkbCtx*>(ctx);
+  if (!env.readable(skb, sizeof(SkbCtx)))
+    return static_cast<std::uint64_t>(kErrFault);
+  const std::uint32_t off32 = static_cast<std::uint32_t>(offset);
+  const std::uint32_t len32 = static_cast<std::uint32_t>(len);
+  const std::uint64_t pkt_len = skb->data_end - skb->data;
+  if (len32 == 0 || off32 > pkt_len || len32 > pkt_len - off32)
+    return static_cast<std::uint64_t>(kErrFault);
+  auto* dst = reinterpret_cast<std::uint8_t*>(to);
+  if (!env.writable(dst, len32)) return static_cast<std::uint64_t>(kErrFault);
+  std::memcpy(dst, reinterpret_cast<const std::uint8_t*>(skb->data) + off32,
+              len32);
+  return 0;
+}
+
 std::uint64_t do_trace_printk(ExecEnv& env, std::uint64_t fmt,
                               std::uint64_t fmt_size, std::uint64_t,
                               std::uint64_t, std::uint64_t) {
@@ -157,12 +180,40 @@ void register_generic_helpers(HelperRegistry& reg) {
                 ArgKind::kPtrToMem, ArgKind::kConstSize}},
       do_perf_event_output);
   reg.register_helper(
+      helper::SKB_LOAD_BYTES,
+      {.name = "skb_load_bytes",
+       .ret = RetKind::kInteger,
+       .args = {ArgKind::kPtrToCtx, ArgKind::kAnything,
+                ArgKind::kPtrToUninitMem, ArgKind::kConstSize,
+                ArgKind::kNone}},
+      do_skb_load_bytes);
+  reg.register_helper(
       helper::TRACE_PRINTK,
       {.name = "trace_printk",
        .ret = RetKind::kInteger,
        .args = {ArgKind::kPtrToMem, ArgKind::kConstSize, ArgKind::kAnything,
                 ArgKind::kAnything, ArgKind::kNone}},
       do_trace_printk);
+}
+
+std::string helper_name(std::int32_t id) {
+  switch (id) {
+    case helper::MAP_LOOKUP_ELEM: return "map_lookup_elem";
+    case helper::MAP_UPDATE_ELEM: return "map_update_elem";
+    case helper::MAP_DELETE_ELEM: return "map_delete_elem";
+    case helper::KTIME_GET_NS: return "ktime_get_ns";
+    case helper::TRACE_PRINTK: return "trace_printk";
+    case helper::GET_PRANDOM_U32: return "get_prandom_u32";
+    case helper::GET_SMP_PROCESSOR_ID: return "get_smp_processor_id";
+    case helper::PERF_EVENT_OUTPUT: return "perf_event_output";
+    case helper::SKB_LOAD_BYTES: return "skb_load_bytes";
+    case helper::LWT_PUSH_ENCAP: return "lwt_push_encap";
+    case helper::LWT_SEG6_STORE_BYTES: return "lwt_seg6_store_bytes";
+    case helper::LWT_SEG6_ADJUST_SRH: return "lwt_seg6_adjust_srh";
+    case helper::LWT_SEG6_ACTION: return "lwt_seg6_action";
+    case helper::FIB_ECMP_NEXTHOPS: return "fib_ecmp_nexthops";
+  }
+  return "helper#" + std::to_string(id);
 }
 
 }  // namespace srv6bpf::ebpf

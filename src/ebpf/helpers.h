@@ -29,6 +29,7 @@ inline constexpr std::int32_t TRACE_PRINTK = 6;
 inline constexpr std::int32_t GET_PRANDOM_U32 = 7;
 inline constexpr std::int32_t GET_SMP_PROCESSOR_ID = 8;
 inline constexpr std::int32_t PERF_EVENT_OUTPUT = 25;
+inline constexpr std::int32_t SKB_LOAD_BYTES = 26;
 // The paper's LWT/SRv6 helpers (Linux 4.18 ids).
 inline constexpr std::int32_t LWT_PUSH_ENCAP = 73;
 inline constexpr std::int32_t LWT_SEG6_STORE_BYTES = 74;
@@ -64,6 +65,7 @@ inline constexpr std::uint8_t kProgLwtIn = 1 << 0;
 inline constexpr std::uint8_t kProgLwtOut = 1 << 1;
 inline constexpr std::uint8_t kProgLwtXmit = 1 << 2;
 inline constexpr std::uint8_t kProgSeg6Local = 1 << 3;
+inline constexpr std::uint8_t kProgSocketFilter = 1 << 4;
 inline constexpr std::uint8_t kProgAny = 0xff;
 
 struct HelperProto {
@@ -104,7 +106,11 @@ class HelperRegistry {
 };
 
 // Registers map_lookup/update/delete, ktime_get_ns, get_prandom_u32,
-// get_smp_processor_id, perf_event_output and trace_printk.
+// get_smp_processor_id, perf_event_output, skb_load_bytes and trace_printk.
 void register_generic_helpers(HelperRegistry& reg);
+
+// Human-readable name for a helper id ("helper#N" for unknown ids); used by
+// the disassembler so dump() output names call targets.
+std::string helper_name(std::int32_t id);
 
 }  // namespace srv6bpf::ebpf

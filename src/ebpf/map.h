@@ -45,6 +45,7 @@ inline constexpr int kErrNoEnt = -2;    // -ENOENT
 inline constexpr int kErrInval = -22;   // -EINVAL
 inline constexpr int kErrExist = -17;   // -EEXIST
 inline constexpr int kErrNoSpace = -28; // -ENOSPC
+inline constexpr int kErrFault = -14;   // -EFAULT
 
 struct MapDef {
   MapType type = MapType::kArray;

@@ -8,6 +8,7 @@ const char* prog_type_name(ProgType t) noexcept {
     case ProgType::kLwtOut: return "lwt_out";
     case ProgType::kLwtXmit: return "lwt_xmit";
     case ProgType::kLwtSeg6Local: return "lwt_seg6local";
+    case ProgType::kSocketFilter: return "socket_filter";
   }
   return "?";
 }

@@ -13,11 +13,15 @@ namespace srv6bpf::ebpf {
 // route; LWT_XMIT just before transmission (and is the hook that may call
 // bpf_lwt_push_encap with full freedom); LWT_SEG6LOCAL is the paper's
 // End.BPF program type, which may call the three seg6 helpers.
+// SOCKET_FILTER is the classic SO_ATTACH_FILTER attachment: programs run
+// over packets delivered to an application socket and return the number of
+// bytes to accept (0 = drop) — the target type of the cBPF translator.
 enum class ProgType {
   kLwtIn,
   kLwtOut,
   kLwtXmit,
   kLwtSeg6Local,
+  kSocketFilter,
 };
 
 const char* prog_type_name(ProgType t) noexcept;

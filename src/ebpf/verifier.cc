@@ -884,6 +884,7 @@ std::optional<VerifierError> Checker::do_call(State& s, const Insn& insn) {
       case ProgType::kLwtOut: return kProgLwtOut;
       case ProgType::kLwtXmit: return kProgLwtXmit;
       case ProgType::kLwtSeg6Local: return kProgSeg6Local;
+      case ProgType::kSocketFilter: return kProgSocketFilter;
     }
     return kProgAny;
   }();

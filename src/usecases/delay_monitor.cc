@@ -100,10 +100,26 @@ DelayMonitorLab::DelayMonitorLab(const Options& opts) : net_(opts.seed) {
   r_->ns().bpf().set_jit_enabled(opts.jit);
 
   // ---- apps ----
+  // Both receive paths are gated by compiled filter expressions, the
+  // userspace half of the paper's deployment: the sink and the controller
+  // each attach a classic-BPF filter to their socket (SO_ATTACH_FILTER),
+  // which we compile from tcpdump syntax and translate to eBPF.
+  std::string ferr;
   mux_s2_ = std::make_unique<apps::AppMux>(*s2_);
-  sink_ = std::make_unique<apps::UdpSink>(*mux_s2_, 7001);
+  sink_filter_ = apps::SocketFilter::from_expr(s2_->ns(), "sink_filter",
+                                               opts.sink_filter, &ferr);
+  if (sink_filter_ == nullptr)
+    throw std::runtime_error("sink filter \"" + opts.sink_filter +
+                             "\": " + ferr);
+  sink_ = std::make_unique<apps::UdpSink>(*mux_s2_, 7001, sink_filter_);
 
   mux_s1_ = std::make_unique<apps::AppMux>(*s1_);
+  ctrl_filter_ = apps::SocketFilter::from_expr(s1_->ns(), "ctrl_filter",
+                                               opts.controller_filter, &ferr);
+  if (ctrl_filter_ == nullptr)
+    throw std::runtime_error("controller filter \"" + opts.controller_filter +
+                             "\": " + ferr);
+  mux_s1_->attach_udp_filter(kControllerPort, ctrl_filter_);
   mux_s1_->on_udp(kControllerPort,
                   [this](const net::Packet&, const net::UdpHeader&,
                          std::span<const std::uint8_t> payload, sim::TimeNs) {

@@ -13,10 +13,12 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/daemons.h"
 #include "apps/sink.h"
+#include "apps/socket_filter.h"
 #include "apps/trafgen.h"
 #include "sim/network.h"
 #include "usecases/programs.h"
@@ -40,6 +42,13 @@ class DelayMonitorLab {
     // Where End.DM runs: on R (tail = R, fig-3 "End.DM" bars) or on S2's
     // router side. The paper measures End.DM on R.
     bool dm_on_r = true;
+    // Both receive sockets are gated by attached classic-BPF filters,
+    // compiled from these tcpdump expressions (SO_ATTACH_FILTER style:
+    // expression -> cBPF -> eBPF -> whichever engine the node runs). The
+    // sink only meters packets its filter accepts; the controller only
+    // parses datagrams its filter accepts.
+    std::string sink_filter = "udp and dst port 7001";
+    std::string controller_filter = "udp and dst port 9999";
   };
 
   explicit DelayMonitorLab(const Options& opts);
@@ -60,6 +69,15 @@ class DelayMonitorLab {
   std::uint64_t controller_datagrams() const noexcept { return ctrl_rx_; }
   std::uint64_t probes_emitted() const noexcept { return probes_; }
 
+  // The attached filters (accept/drop counters, source expressions).
+  const std::shared_ptr<apps::SocketFilter>& sink_filter() const noexcept {
+    return sink_filter_;
+  }
+  const std::shared_ptr<apps::SocketFilter>& controller_filter()
+      const noexcept {
+    return ctrl_filter_;
+  }
+
   static constexpr std::uint16_t kControllerPort = 9999;
 
  private:
@@ -70,6 +88,8 @@ class DelayMonitorLab {
   std::unique_ptr<apps::AppMux> mux_s1_;
   std::unique_ptr<apps::AppMux> mux_s2_;
   std::unique_ptr<apps::UdpSink> sink_;
+  std::shared_ptr<apps::SocketFilter> sink_filter_;
+  std::shared_ptr<apps::SocketFilter> ctrl_filter_;
   std::unique_ptr<apps::TrafGen> gen_;
   std::unique_ptr<apps::PerfPoller> poller_;
   std::vector<OwdSample> samples_;

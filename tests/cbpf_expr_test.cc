@@ -1,0 +1,148 @@
+// Tests for the tcpdump-expression compiler: parse diagnostics, and
+// match/no-match behaviour of compiled filters over crafted packets —
+// including SRH-encapsulated traffic, which the generated extension-header
+// walk must see through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cbpf/expr.h"
+#include "cbpf/insn.h"
+#include "cbpf/interp.h"
+#include "cbpf/translate.h"
+#include "net/packet.h"
+
+namespace srv6bpf::cbpf {
+namespace {
+
+std::vector<std::uint8_t> udp_packet(const char* src, const char* dst,
+                                     std::uint16_t sport, std::uint16_t dport,
+                                     std::size_t payload = 32,
+                                     bool with_srh = false) {
+  net::PacketSpec spec;
+  spec.src = net::Ipv6Addr::must_parse(src);
+  spec.dst = net::Ipv6Addr::must_parse(dst);
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  spec.payload_size = payload;
+  if (with_srh) {
+    spec.segments = {net::Ipv6Addr::must_parse("fc00::a"),
+                     net::Ipv6Addr::must_parse(dst)};
+  }
+  net::Packet pkt = net::make_udp_packet(spec);
+  return {pkt.bytes().begin(), pkt.bytes().end()};
+}
+
+bool matches(std::string_view expr, const std::vector<std::uint8_t>& pkt) {
+  const CompileResult cr = compile(expr);
+  EXPECT_TRUE(cr.ok) << "compile(\"" << expr << "\"): " << cr.error;
+  if (!cr.ok) return false;
+  const CheckResult chk = check(cr.insns);
+  EXPECT_TRUE(chk.ok) << chk.error << "\n" << disasm(cr.insns);
+  return run(cr.insns, pkt.data(), pkt.size()) != 0;
+}
+
+TEST(CbpfExpr, ReportsParseErrors) {
+  for (const char* bad : {"", "and udp", "udp and", "udp or (tcp",
+                          "port", "port banana", "host 2001:db8::zz",
+                          "net 2001:db8::/129", "frobnicate", "udp tcp",
+                          "greater", "not"}) {
+    const CompileResult cr = compile(bad);
+    EXPECT_FALSE(cr.ok) << "compile(\"" << bad << "\") should fail";
+    EXPECT_FALSE(cr.error.empty());
+  }
+}
+
+TEST(CbpfExpr, CompiledFiltersPassCheckAndTranslate) {
+  for (const char* good :
+       {"udp", "ip6 and udp and dst port 7001",
+        "srh and (dst net 2001:db8::/32 or src host fc00::1)",
+        "not (tcp or icmp6) and greater 100", "proto 43", "less 1500"}) {
+    const CompileResult cr = compile(good);
+    ASSERT_TRUE(cr.ok) << good << ": " << cr.error;
+    const TranslateResult tr = translate(cr.insns);
+    EXPECT_TRUE(tr.ok) << good << ": " << tr.error << "\n" << disasm(cr.insns);
+  }
+}
+
+TEST(CbpfExpr, TransportProtocolPrimitives) {
+  const auto udp = udp_packet("2001:db8::1", "2001:db8::2", 5000, 7);
+  EXPECT_TRUE(matches("ip6", udp));
+  EXPECT_TRUE(matches("udp", udp));
+  EXPECT_FALSE(matches("tcp", udp));
+  EXPECT_FALSE(matches("icmp6", udp));
+  EXPECT_TRUE(matches("proto 17", udp));
+  EXPECT_FALSE(matches("proto 6", udp));
+  // A version nibble of 4 fails the ip6 test (and everything transport).
+  const std::vector<std::uint8_t> v4ish = {0x45, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(matches("ip6", v4ish));
+  EXPECT_FALSE(matches("udp", v4ish));
+  EXPECT_FALSE(matches("udp", {}));  // empty packet never matches
+}
+
+TEST(CbpfExpr, PortPrimitivesRespectDirection) {
+  const auto udp = udp_packet("2001:db8::1", "2001:db8::2", 5000, 7);
+  EXPECT_TRUE(matches("dst port 7", udp));
+  EXPECT_TRUE(matches("src port 5000", udp));
+  EXPECT_TRUE(matches("port 7", udp));
+  EXPECT_TRUE(matches("port 5000", udp));
+  EXPECT_FALSE(matches("dst port 5000", udp));
+  EXPECT_FALSE(matches("src port 7", udp));
+  EXPECT_FALSE(matches("port 9999", udp));
+  EXPECT_TRUE(matches("udp and dst port 7", udp));
+}
+
+TEST(CbpfExpr, HostAndNetPrimitives) {
+  const auto udp = udp_packet("2001:db8::1", "fc00::9", 5000, 7);
+  EXPECT_TRUE(matches("src host 2001:db8::1", udp));
+  EXPECT_TRUE(matches("dst host fc00::9", udp));
+  EXPECT_TRUE(matches("host fc00::9", udp));
+  EXPECT_FALSE(matches("src host fc00::9", udp));
+  EXPECT_FALSE(matches("host 2001:db8::2", udp));
+  EXPECT_TRUE(matches("src net 2001:db8::/32", udp));
+  EXPECT_TRUE(matches("dst net fc00::/7", udp));
+  EXPECT_FALSE(matches("dst net 2001:db8::/32", udp));
+  // Non-octet-aligned prefix length exercises the masked tail word.
+  EXPECT_TRUE(matches("net 2001:db8::/45", udp));
+  EXPECT_FALSE(matches("net 2001:dc0::/45", udp));
+}
+
+TEST(CbpfExpr, SeesThroughSrhEncapsulation) {
+  const auto plain = udp_packet("2001:db8::1", "2001:db8::2", 5000, 7001);
+  const auto seg = udp_packet("2001:db8::1", "2001:db8::2", 5000, 7001,
+                              32, /*with_srh=*/true);
+  // The paper's fig.3 shape: UDP behind a routing header. One expression
+  // matches both the plain and the encapsulated form.
+  EXPECT_TRUE(matches("udp and dst port 7001", plain));
+  EXPECT_TRUE(matches("udp and dst port 7001", seg));
+  EXPECT_FALSE(matches("udp and dst port 9999", seg));
+  EXPECT_TRUE(matches("srh", seg));
+  EXPECT_FALSE(matches("srh", plain));
+  EXPECT_TRUE(matches("srh and udp and dst port 7001", seg));
+}
+
+TEST(CbpfExpr, LengthPrimitives) {
+  const auto udp = udp_packet("2001:db8::1", "2001:db8::2", 1, 2, 60);
+  const std::size_t len = udp.size();
+  EXPECT_TRUE(matches("greater " + std::to_string(len), udp));
+  EXPECT_TRUE(matches("less " + std::to_string(len), udp));
+  EXPECT_FALSE(matches("greater " + std::to_string(len + 1), udp));
+  EXPECT_FALSE(matches("less " + std::to_string(len - 1), udp));
+}
+
+TEST(CbpfExpr, BooleanOperatorsCompose) {
+  const auto a = udp_packet("2001:db8::1", "2001:db8::2", 5000, 7);
+  const auto b = udp_packet("fc00::1", "fc00::2", 5000, 9);
+  EXPECT_TRUE(matches("dst port 7 or dst port 9", a));
+  EXPECT_TRUE(matches("dst port 7 or dst port 9", b));
+  EXPECT_FALSE(matches("dst port 7 and dst port 9", a));
+  EXPECT_TRUE(matches("not dst port 9", a));
+  EXPECT_FALSE(matches("not dst port 9", b));
+  EXPECT_TRUE(matches("udp and not (src net fc00::/7)", a));
+  EXPECT_FALSE(matches("udp and not (src net fc00::/7)", b));
+  EXPECT_TRUE(matches("not not udp", a));
+}
+
+}  // namespace
+}  // namespace srv6bpf::cbpf

@@ -1,0 +1,215 @@
+// Unit tests for the classic-BPF core: static checker, reference
+// interpreter, and tcpdump-style disassembler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cbpf/insn.h"
+#include "cbpf/interp.h"
+
+namespace srv6bpf::cbpf {
+namespace {
+
+std::uint32_t run_on(const std::vector<SockFilter>& prog,
+                     const std::vector<std::uint8_t>& pkt) {
+  return run(prog, pkt.data(), pkt.size());
+}
+
+// ---- check() ----------------------------------------------------------------
+
+TEST(CbpfCheck, AcceptsCanonicalUdpDstPortFilter) {
+  // The classic shape tcpdump emits for a raw-IPv6 "udp and dst port 7":
+  // next-header at byte 6, UDP dst port at byte 42.
+  const std::vector<SockFilter> prog = {
+      stmt(BPF_LD | BPF_B | BPF_ABS, 6),
+      jump(BPF_JMP | BPF_JEQ | BPF_K, 17, 0, 3),
+      stmt(BPF_LD | BPF_H | BPF_ABS, 42),
+      jump(BPF_JMP | BPF_JEQ | BPF_K, 7, 0, 1),
+      stmt(BPF_RET | BPF_K, 0xffff),
+      stmt(BPF_RET | BPF_K, 0),
+  };
+  const CheckResult r = check(prog);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(CbpfCheck, RejectsEmptyProgram) {
+  EXPECT_FALSE(check({}).ok);
+}
+
+TEST(CbpfCheck, RejectsMissingFinalRet) {
+  const CheckResult r = check({stmt(BPF_LD | BPF_IMM, 1)});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_insn, 0);
+}
+
+TEST(CbpfCheck, RejectsOutOfRangeJumps) {
+  // jt lands one past the last instruction.
+  EXPECT_FALSE(check({jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 2, 0),
+                      stmt(BPF_RET | BPF_K, 0)})
+                   .ok);
+  // JA offset runs off the end.
+  EXPECT_FALSE(
+      check({stmt(BPF_JMP | BPF_JA, 1), stmt(BPF_RET | BPF_K, 0)}).ok);
+}
+
+TEST(CbpfCheck, RejectsBadScratchShiftAndDivide) {
+  EXPECT_FALSE(check({stmt(BPF_ST, 16), stmt(BPF_RET | BPF_K, 0)}).ok);
+  EXPECT_FALSE(check({stmt(BPF_LD | BPF_MEM, 99), stmt(BPF_RET | BPF_K, 0)}).ok);
+  EXPECT_FALSE(
+      check({stmt(BPF_ALU | BPF_LSH | BPF_K, 32), stmt(BPF_RET | BPF_K, 0)}).ok);
+  EXPECT_FALSE(
+      check({stmt(BPF_ALU | BPF_DIV | BPF_K, 0), stmt(BPF_RET | BPF_K, 0)}).ok);
+  // Division by X is legal statically; the zero case is a runtime drop.
+  EXPECT_TRUE(
+      check({stmt(BPF_ALU | BPF_DIV | BPF_X, 0), stmt(BPF_RET | BPF_K, 0)}).ok);
+}
+
+TEST(CbpfCheck, RejectsUnknownOpcodes) {
+  EXPECT_FALSE(check({stmt(0xffff, 0), stmt(BPF_RET | BPF_K, 0)}).ok);
+  EXPECT_FALSE(check({stmt(BPF_LDX | BPF_B | BPF_ABS, 0),  // no LDX+ABS
+                      stmt(BPF_RET | BPF_K, 0)})
+                   .ok);
+}
+
+// ---- run() ------------------------------------------------------------------
+
+TEST(CbpfInterp, ReturnsConstantAndAccumulator) {
+  EXPECT_EQ(run_on({stmt(BPF_RET | BPF_K, 1234)}, {}), 1234u);
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_IMM, 77), stmt(BPF_RET | BPF_A, 0)}, {}),
+            77u);
+}
+
+TEST(CbpfInterp, PacketLoadsAreBigEndian) {
+  const std::vector<std::uint8_t> pkt = {0x11, 0x22, 0x33, 0x44, 0x55};
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_B | BPF_ABS, 1),
+                    stmt(BPF_RET | BPF_A, 0)},
+                   pkt),
+            0x22u);
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_H | BPF_ABS, 1),
+                    stmt(BPF_RET | BPF_A, 0)},
+                   pkt),
+            0x2233u);
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_W | BPF_ABS, 1),
+                    stmt(BPF_RET | BPF_A, 0)},
+                   pkt),
+            0x22334455u);
+}
+
+TEST(CbpfInterp, OutOfBoundsLoadDrops) {
+  const std::vector<std::uint8_t> pkt = {0xaa, 0xbb};
+  // Word load straddling the end, and a byte load past the end.
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+                    stmt(BPF_RET | BPF_K, 1)},
+                   pkt),
+            0u);
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_B | BPF_ABS, 2),
+                    stmt(BPF_RET | BPF_K, 1)},
+                   pkt),
+            0u);
+  // IND with a wrapping X + k stays a drop, not a wild read.
+  EXPECT_EQ(run_on({stmt(BPF_LDX | BPF_IMM, 0xffff),
+                    stmt(BPF_LD | BPF_B | BPF_IND, 2),
+                    stmt(BPF_RET | BPF_K, 1)},
+                   pkt),
+            0u);
+}
+
+TEST(CbpfInterp, IndAndMshUseX) {
+  //            0     1     2     3     4
+  const std::vector<std::uint8_t> pkt = {0x45, 0x00, 0x00, 0x2a, 0x99};
+  // MSH: X = 4 * (pkt[0] & 0xf) = 20 — the classic IPv4 header-length idiom.
+  // Then IND reads pkt[X - 16] = pkt[4].
+  const std::vector<SockFilter> prog = {
+      stmt(BPF_LDX | BPF_B | BPF_MSH, 0),
+      stmt(BPF_LD | BPF_B | BPF_IND, static_cast<std::uint32_t>(-16)),
+      stmt(BPF_RET | BPF_A, 0),
+  };
+  EXPECT_EQ(run_on(prog, pkt), 0x99u);
+}
+
+TEST(CbpfInterp, AluAndScratchSemantics) {
+  // A = ((10 - 3) * 6) % 5 = 2; M[7] = A; X = M[7]; A = (A << 33-bit-masked 1)
+  const std::vector<SockFilter> prog = {
+      stmt(BPF_LD | BPF_IMM, 10),
+      stmt(BPF_ALU | BPF_SUB | BPF_K, 3),
+      stmt(BPF_ALU | BPF_MUL | BPF_K, 6),
+      stmt(BPF_ALU | BPF_MOD | BPF_K, 5),
+      stmt(BPF_ST, 7),
+      stmt(BPF_LDX | BPF_MEM, 7),
+      stmt(BPF_ALU | BPF_LSH | BPF_X, 0),  // A <<= (X & 31) = 2 -> 8
+      stmt(BPF_RET | BPF_A, 0),
+  };
+  EXPECT_EQ(run_on(prog, {}), 8u);
+  // Uninitialised scratch reads as zero.
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_MEM, 3), stmt(BPF_RET | BPF_A, 0)}, {}),
+            0u);
+}
+
+TEST(CbpfInterp, DivModByZeroXDrops) {
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_IMM, 9),
+                    stmt(BPF_ALU | BPF_DIV | BPF_X, 0),
+                    stmt(BPF_RET | BPF_K, 1)},
+                   {}),
+            0u);
+  EXPECT_EQ(run_on({stmt(BPF_LD | BPF_IMM, 9),
+                    stmt(BPF_ALU | BPF_MOD | BPF_X, 0),
+                    stmt(BPF_RET | BPF_K, 1)},
+                   {}),
+            0u);
+}
+
+TEST(CbpfInterp, JumpsCompareUnsignedAndGoForward) {
+  // A = 0xffffffff must be > 1 as unsigned.
+  const std::vector<SockFilter> prog = {
+      stmt(BPF_LD | BPF_IMM, 0xffffffff),
+      jump(BPF_JMP | BPF_JGT | BPF_K, 1, 1, 0),
+      stmt(BPF_RET | BPF_K, 0),   // jf path
+      stmt(BPF_RET | BPF_K, 42),  // jt path
+  };
+  EXPECT_EQ(run_on(prog, {}), 42u);
+  // JSET takes jt when any masked bit is set; JA skips over.
+  const std::vector<SockFilter> ja = {
+      stmt(BPF_LD | BPF_IMM, 0b1010),
+      jump(BPF_JMP | BPF_JSET | BPF_K, 0b0010, 0, 2),
+      stmt(BPF_JMP | BPF_JA, 1),
+      stmt(BPF_RET | BPF_K, 0),
+      stmt(BPF_RET | BPF_K, 7),
+  };
+  EXPECT_EQ(run_on(ja, {}), 7u);
+}
+
+TEST(CbpfInterp, LenTaxTxa) {
+  const std::vector<std::uint8_t> pkt(29);
+  const std::vector<SockFilter> prog = {
+      stmt(BPF_LDX | BPF_W | BPF_LEN, 0),
+      stmt(BPF_MISC | BPF_TXA, 0),
+      stmt(BPF_ALU | BPF_ADD | BPF_K, 1),
+      stmt(BPF_MISC | BPF_TAX, 0),
+      stmt(BPF_MISC | BPF_TXA, 0),
+      stmt(BPF_RET | BPF_A, 0),
+  };
+  EXPECT_EQ(run_on(prog, pkt), 30u);
+}
+
+// ---- disasm() ---------------------------------------------------------------
+
+TEST(CbpfDisasm, RendersTcpdumpStyle) {
+  EXPECT_EQ(disasm(stmt(BPF_LD | BPF_H | BPF_ABS, 12)), "ldh [12]");
+  EXPECT_EQ(disasm(stmt(BPF_LD | BPF_B | BPF_IND, 14)), "ldb [x + 14]");
+  EXPECT_EQ(disasm(stmt(BPF_LDX | BPF_B | BPF_MSH, 14)), "ldxb 4*([14]&0xf)");
+  EXPECT_EQ(disasm(jump(BPF_JMP | BPF_JEQ | BPF_K, 0x86dd, 2, 5)),
+            "jeq #0x86dd jt 2 jf 5");
+  EXPECT_EQ(disasm(stmt(BPF_ALU | BPF_AND | BPF_K, 0xf)), "and #0xf");
+  EXPECT_EQ(disasm(stmt(BPF_RET | BPF_K, 65535)), "ret #65535");
+  EXPECT_EQ(disasm(stmt(BPF_RET | BPF_A, 0)), "ret a");
+  EXPECT_EQ(disasm(stmt(BPF_MISC | BPF_TAX, 0)), "tax");
+  // Whole-program form prefixes each line with its index.
+  const std::string text = disasm(std::vector<SockFilter>{
+      stmt(BPF_LD | BPF_IMM, 1), stmt(BPF_RET | BPF_A, 0)});
+  EXPECT_NE(text.find("(000) ld #0x1"), std::string::npos);
+  EXPECT_NE(text.find("(001) ret a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srv6bpf::cbpf
