@@ -51,6 +51,19 @@ def check_floor(data, name, metric, floor, on_violation):
     return 0
 
 
+def check_ceiling(data, name, metric, ceiling, on_violation):
+    """Upper bounds for metrics where bigger is worse (latency percentiles,
+    blackhole durations)."""
+    value = get_metric(data, metric)
+    if value is None:
+        return fail(f"{name}: metric '{metric}' missing")
+    if value > ceiling:
+        return on_violation(
+            f"{name}: {metric} = {value} above ceiling {ceiling}")
+    print(f"ok:   {name}: {metric} = {value} (ceiling {ceiling})")
+    return 0
+
+
 def check_burst_invariance(data, name, limit):
     rates = [row["sim_kpps"] for row in data.get("rows", [])]
     if len(rates) < 2 or min(rates) <= 0:
@@ -94,13 +107,20 @@ def main():
                 # smoke runs may omit e.g. the 4-cpu row
                 rc |= check_floor(data, name, metric, floor, fail)
                 sim_evaluated += 1
-        # A present file with sim floors must have evaluated at least one of
-        # them — otherwise a renamed/dropped metric would silently disable
-        # the deterministic gate this script exists to enforce.
-        if sim_floors and sim_evaluated == 0:
+        sim_ceilings = base.get("sim_ceilings", {}).get(name, {})
+        for metric, ceiling in sim_ceilings.items():
+            if get_metric(data, metric) is not None:
+                rc |= check_ceiling(data, name, metric, ceiling, fail)
+                sim_evaluated += 1
+        # A present file with sim floors/ceilings must have evaluated at
+        # least one of them — otherwise a renamed/dropped metric would
+        # silently disable the deterministic gate this script exists to
+        # enforce.
+        if (sim_floors or sim_ceilings) and sim_evaluated == 0:
             rc |= fail(f"{name}: none of the sim metrics "
-                       f"{sorted(sim_floors)} are present — the "
-                       f"deterministic floors were not evaluated")
+                       f"{sorted(sim_floors) + sorted(sim_ceilings)} are "
+                       f"present — the deterministic bounds were not "
+                       f"evaluated")
         for metric, floor in base.get("wall", {}).get(name, {}).items():
             rc |= check_floor(data, name, metric, floor,
                               fail if args.strict else warn)

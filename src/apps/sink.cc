@@ -62,9 +62,9 @@ void AppMux::deliver(net::Packet&& pkt, sim::TimeNs now) {
 }
 
 UdpSink::UdpSink(AppMux& mux, std::uint16_t port) {
-  mux.on_udp(port, [this](const net::Packet&, const net::UdpHeader&,
+  mux.on_udp(port, [this](const net::Packet& pkt, const net::UdpHeader&,
                           std::span<const std::uint8_t> payload,
-                          sim::TimeNs) { meter_.record(payload.size()); });
+                          sim::TimeNs now) { observe(pkt, payload, now); });
 }
 
 UdpSink::UdpSink(AppMux& mux, std::uint16_t port,
@@ -72,10 +72,17 @@ UdpSink::UdpSink(AppMux& mux, std::uint16_t port,
     : filter_(std::move(f)) {
   mux.on_udp(port, [this](const net::Packet& pkt, const net::UdpHeader&,
                           std::span<const std::uint8_t> payload,
-                          sim::TimeNs) {
+                          sim::TimeNs now) {
     if (filter_ != nullptr && !filter_->accept(pkt)) return;
-    meter_.record(payload.size());
+    observe(pkt, payload, now);
   });
+}
+
+void UdpSink::observe(const net::Packet& pkt,
+                      std::span<const std::uint8_t> payload, sim::TimeNs now) {
+  meter_.record(payload.size(), now);
+  if (tracer_ != nullptr) tracer_->record(pkt, now);
+  if (reconv_ != nullptr) reconv_->note_delivery(now);
 }
 
 }  // namespace srv6bpf::apps

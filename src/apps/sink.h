@@ -16,6 +16,7 @@
 
 #include "net/packet.h"
 #include "net/transport.h"
+#include "sim/latency_tracer.h"
 #include "sim/node.h"
 #include "sim/stats.h"
 
@@ -78,10 +79,21 @@ class AppMux {
 // Counts UDP datagrams to a port: the S2 "sink" of the paper's setup 1.
 // With a filter, only packets the filter accepts are metered (and the
 // filter's own accept/drop counters stay readable through filter()).
+// Deliveries are timestamped into the RateMeter (so report() can flag
+// microbursts from inter-arrival gaps) and, when observers are attached,
+// fed to a sim::LatencyTracer (per-flow-class end-to-end latency) and a
+// sim::ReconvergenceClock (failure blackhole measurement).
 class UdpSink {
  public:
   UdpSink(AppMux& mux, std::uint16_t port);
   UdpSink(AppMux& mux, std::uint16_t port, std::shared_ptr<SocketFilter> f);
+
+  // Observers are borrowed, not owned: they must outlive the sink (or be
+  // detached with nullptr first).
+  void set_tracer(sim::LatencyTracer* tracer) noexcept { tracer_ = tracer; }
+  void set_reconvergence_clock(sim::ReconvergenceClock* clock) noexcept {
+    reconv_ = clock;
+  }
 
   std::uint64_t packets() const noexcept { return meter_.packets(); }
   std::uint64_t payload_bytes() const noexcept { return meter_.bytes(); }
@@ -92,8 +104,13 @@ class UdpSink {
   void reset() { meter_.reset(); }
 
  private:
+  void observe(const net::Packet& pkt, std::span<const std::uint8_t> payload,
+               sim::TimeNs now);
+
   sim::RateMeter meter_;
   std::shared_ptr<SocketFilter> filter_;
+  sim::LatencyTracer* tracer_ = nullptr;
+  sim::ReconvergenceClock* reconv_ = nullptr;
 };
 
 }  // namespace srv6bpf::apps

@@ -245,6 +245,13 @@ std::optional<Ipv6Header> Ipv6Header::parse(std::span<const std::uint8_t> in) {
 // ---- Ipv6View ----------------------------------------------------------------
 
 std::uint8_t Ipv6View::version() const { return p_[0] >> 4; }
+std::uint8_t Ipv6View::traffic_class() const {
+  return static_cast<std::uint8_t>((p_[0] << 4) | (p_[1] >> 4));
+}
+std::uint32_t Ipv6View::flow_label() const {
+  return (static_cast<std::uint32_t>(p_[1] & 0x0f) << 16) |
+         (static_cast<std::uint32_t>(p_[2]) << 8) | p_[3];
+}
 std::uint16_t Ipv6View::payload_length() const { return load_be16(p_ + 4); }
 void Ipv6View::set_payload_length(std::uint16_t v) { store_be16(p_ + 4, v); }
 std::uint8_t Ipv6View::next_header() const { return p_[6]; }

@@ -109,6 +109,8 @@ class Ipv6View {
   explicit Ipv6View(std::uint8_t* p) : p_(p) {}
 
   std::uint8_t version() const;
+  std::uint8_t traffic_class() const;
+  std::uint32_t flow_label() const;  // 20 bits
   std::uint16_t payload_length() const;
   void set_payload_length(std::uint16_t v);
   std::uint8_t next_header() const;

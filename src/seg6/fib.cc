@@ -28,6 +28,18 @@ void Fib::add_route(Route route) {
   ++gen_;
 }
 
+bool Fib::remove_route(const net::Prefix& prefix) {
+  // The trie entry goes away; the Route object stays parked in routes_ so
+  // earlier indices keep their meaning (same superseding discipline as
+  // add_route on an existing prefix). The generation bump invalidates every
+  // cache slot that may hold a pointer at the withdrawn route.
+  if (!trie_.erase(prefix.addr.bytes().data(),
+                   static_cast<std::uint32_t>(prefix.len)))
+    return false;
+  ++gen_;
+  return true;
+}
+
 void Fib::clear() {
   routes_.clear();
   trie_.clear();

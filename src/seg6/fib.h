@@ -45,10 +45,27 @@ struct LwtState {
   ebpf::ProgHandle prog_xmit;
 };
 
+// Precomputed SRv6 fast-reroute backup attached to a route (TI-LFA shape):
+// when the primary nexthop's egress link is down at forwarding time, the
+// point of local repair encapsulates the packet with `segments` (travel
+// order — typically a repair End/End.X SID on a neighbor that avoids the
+// failed link, then an End.DT6 SID past it that decaps toward the original
+// destination) and forwards it out the precomputed backup adjacency `nh`.
+// Because everything is computed at route-install time, activation is pure
+// datapath — no control-plane round trip, which is the whole point: the
+// blackhole lasts one forwarding decision instead of an IGP convergence
+// (bench/slo_soak.cc measures both).
+struct FrrBackup {
+  std::vector<net::Ipv6Addr> segments;  // repair segment list, travel order
+  Nexthop nh;  // backup End.X adjacency; oif < 0 = re-run the FIB lookup on
+               // the new outer destination instead of forwarding directly
+};
+
 struct Route {
   net::Prefix prefix;
   std::vector<Nexthop> nexthops;       // >1 entries = ECMP
   std::shared_ptr<LwtState> lwt;       // optional tunnel state
+  std::shared_ptr<FrrBackup> frr;      // optional fast-reroute backup
 };
 
 class Fib;
@@ -77,8 +94,12 @@ class Fib {
   void add_route(Route route);
   // Convenience: single-nexthop route.
   void add_route(const net::Prefix& prefix, const Nexthop& nh) {
-    add_route(Route{prefix, {nh}, nullptr});
+    add_route(Route{prefix, {nh}, nullptr, nullptr});
   }
+  // Withdraws the route for exactly `prefix` (route churn / IGP withdraw).
+  // Returns false when no route with that exact prefix exists. Like every
+  // mutation this bumps the generation, invalidating all cache slots.
+  bool remove_route(const net::Prefix& prefix);
   void clear();
 
   // Longest-prefix match; nullptr when no route covers `dst`. Consults

@@ -30,6 +30,17 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
   // netns's per-context FIB cache slot selected by Netns::current_cpu.
   NodeStats& stats = node.cur().stats;
 
+  // Drop charging goes through note_drop so per-reason first-occurrence
+  // timestamps are captured. The time used is the packet's own logical time —
+  // wire arrival for received packets, the entry clock for locally
+  // originated ones — never the (coalescing-dependent) service event clock,
+  // keeping the timestamps burst-invariant.
+  const TimeNs entry_now = node.loop().now();
+  auto drop_time = [entry_now](const net::Packet& p) {
+    return p.rx_tstamp_ns != 0 ? static_cast<TimeNs>(p.rx_tstamp_ns)
+                               : entry_now;
+  };
+
   BurstState st;
   // Group scratch: packet/trace/result views over one run of packets that
   // share a lookup key (destination or route).
@@ -56,7 +67,7 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
     st.active[i] = true;
     net::Packet& p = b.pkt(i);
     if (p.size() < net::kIpv6HeaderSize || p.ipv6().version() != 6) {
-      ++stats.drops_malformed;
+      stats.note_drop(DropReason::kMalformed, drop_time(p));
       traces[i].dropped = true;
       finish_drop(i);
     }
@@ -107,7 +118,7 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
       net::Packet& p = b.pkt(i);
       switch (st.r[i].disposition) {
         case seg6::Disposition::kDrop:
-          ++stats.drops_verdict;
+          stats.note_drop(DropReason::kVerdict, drop_time(p));
           traces[i].dropped = true;
           finish_drop(i);
           break;
@@ -116,12 +127,12 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
           break;
         case seg6::Disposition::kUseRoute:
           // Only produced inside the kContinue handling; treated there.
-          ++stats.drops_no_route;
+          stats.note_drop(DropReason::kNoRoute, drop_time(p));
           finish_drop(i);
           break;
         case seg6::Disposition::kForward: {
           if (!p.dst().valid) {
-            ++stats.drops_no_route;
+            stats.note_drop(DropReason::kNoRoute, drop_time(p));
             finish_drop(i);
             break;
           }
@@ -129,7 +140,7 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
           if (!local_out) {
             const std::uint8_t hl = p.ipv6().hop_limit();
             if (hl <= 1) {
-              ++stats.drops_ttl;
+              stats.note_drop(DropReason::kTtl, drop_time(p));
               node.send_icmp_time_exceeded(p);
               traces[i].dropped = true;
               finish_drop(i);
@@ -189,7 +200,7 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
       for (std::size_t k = 0; k < m; ++k) ++gt[k]->fib_lookups;
       if (route == nullptr) {
         for (std::size_t k = 0; k < m; ++k) {
-          ++stats.drops_no_route;
+          stats.note_drop(DropReason::kNoRoute, drop_time(*gp[k]));
           gt[k]->dropped = true;
           finish_drop(gi[k]);
         }
@@ -197,16 +208,49 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
       }
 
       // Resolves the route's own nexthop into the packet's dst metadata
-      // (ECMP per-packet: the flow hash keeps flows on one path).
+      // (ECMP per-packet: the flow hash keeps flows on one path). When the
+      // selected nexthop's egress link is down and the route carries a
+      // precomputed TI-LFA backup, the point-of-local-repair path activates
+      // right here: encapsulate with the repair segment list and steer out
+      // the backup adjacency (or re-run the lookup on the new outer
+      // destination when the backup has no pinned interface).
       auto take_nexthop = [&](std::size_t k) {
         if (route->nexthops.empty()) {
-          ++stats.drops_no_route;
+          stats.note_drop(DropReason::kNoRoute, drop_time(*gp[k]));
           finish_drop(gi[k]);
           return;
         }
         net::Packet& p = *gp[k];
         const seg6::Nexthop& nh =
             seg6::Fib::select_nexthop(*route, seg6::flow_hash(p));
+        if (node.iface_link_down(nh.oif) && route->frr != nullptr) {
+          const seg6::FrrBackup& frr = *route->frr;
+          if (!frr.segments.empty()) {
+            const net::Ipv6Addr src = ns.sr_tunsrc.is_unspecified()
+                                          ? p.ipv6().src()
+                                          : ns.sr_tunsrc;
+            if (!seg6::seg6_do_encap(p, frr.segments, src)) {
+              stats.note_drop(DropReason::kLinkDown, drop_time(p));
+              gt[k]->dropped = true;
+              finish_drop(gi[k]);
+              return;
+            }
+            ++gt[k]->encaps;
+          }
+          ++stats.frr_reroutes;
+          if (frr.nh.oif >= 0 && !node.iface_link_down(frr.nh.oif)) {
+            p.dst().nexthop =
+                frr.nh.via.is_unspecified() ? p.ipv6().dst() : frr.nh.via;
+            p.dst().oif = frr.nh.oif;
+            p.dst().valid = true;
+            st.r[gi[k]] = seg6::PipelineResult::forward();
+          } else {
+            // No pinned backup adjacency: the rewritten outer destination
+            // (the first repair segment) goes back for another lookup round.
+            st.r[gi[k]] = seg6::PipelineResult::cont(0);
+          }
+          return;
+        }
         p.dst().nexthop = nh.via.is_unspecified() ? dst : nh.via;
         p.dst().oif = nh.oif;
         p.dst().valid = true;
@@ -231,7 +275,7 @@ void Datapath::process_burst(net::PacketBurst& b, bool local_out,
   // Disposition rounds exhausted: whatever is still in flight loops.
   for (std::size_t i = 0; i < n; ++i) {
     if (!st.active[i]) continue;
-    ++stats.drops_no_route;
+    stats.note_drop(DropReason::kNoRoute, drop_time(b.pkt(i)));
     finish_drop(i);
   }
 

@@ -1,0 +1,82 @@
+#include "sim/latency_tracer.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace srv6bpf::sim {
+
+LatencyTracer::~LatencyTracer() {
+  const char* env = std::getenv("SRV6BPF_TRACE_SLO");
+  if (env != nullptr && env[0] == '1') dump(stderr);
+}
+
+std::size_t LatencyTracer::add_class(std::string name, Matcher matcher) {
+  // Explicit classes keep declaration order ahead of any flow-label spread
+  // classes already appended.
+  const std::size_t idx = explicit_classes_;
+  classes_.insert(classes_.begin() + static_cast<std::ptrdiff_t>(idx),
+                  Class{std::move(name), std::move(matcher), {}});
+  ++explicit_classes_;
+  return idx;
+}
+
+void LatencyTracer::classify_by_flow_label(std::size_t n,
+                                           const std::string& prefix) {
+  // Replace any previous spread classes.
+  classes_.resize(explicit_classes_);
+  label_mod_ = n;
+  for (std::size_t i = 0; i < n; ++i)
+    classes_.push_back(Class{prefix + std::to_string(i), nullptr, {}});
+}
+
+void LatencyTracer::record(const net::Packet& pkt, TimeNs delivered_at) {
+  if (pkt.tx_tstamp_ns == 0 || delivered_at < pkt.tx_tstamp_ns) {
+    ++untimed_;
+    return;
+  }
+  const std::uint64_t delay = delivered_at - pkt.tx_tstamp_ns;
+  overall_.record(delay);
+
+  for (std::size_t i = 0; i < explicit_classes_; ++i) {
+    if (classes_[i].matcher(pkt)) {
+      classes_[i].hist.record(delay);
+      return;
+    }
+  }
+  if (label_mod_ > 0 && pkt.size() >= net::kIpv6HeaderSize) {
+    // const_cast: Ipv6View wants a mutable pointer but only reads here.
+    const std::uint32_t label =
+        net::Ipv6View(const_cast<std::uint8_t*>(pkt.data())).flow_label();
+    classes_[explicit_classes_ + label % label_mod_].hist.record(delay);
+    return;
+  }
+  ++unmatched_;
+}
+
+void LatencyTracer::reset_samples() {
+  for (Class& c : classes_) c.hist.reset();
+  overall_.reset();
+  unmatched_ = 0;
+  untimed_ = 0;
+}
+
+void LatencyTracer::dump(std::FILE* out) const {
+  auto line = [out](const char* name, const util::HdrHistogram& h) {
+    std::fprintf(out,
+                 "SLO class=%-12s count=%-10llu p50=%-10llu p99=%-10llu "
+                 "p99.9=%-10llu max=%llu ns\n",
+                 name, static_cast<unsigned long long>(h.count()),
+                 static_cast<unsigned long long>(h.p50()),
+                 static_cast<unsigned long long>(h.p99()),
+                 static_cast<unsigned long long>(h.p999()),
+                 static_cast<unsigned long long>(h.max()));
+  };
+  for (const Class& c : classes_) line(c.name.c_str(), c.hist);
+  line("_overall", overall_);
+  if (unmatched_ > 0 || untimed_ > 0)
+    std::fprintf(out, "SLO unmatched=%llu untimed=%llu\n",
+                 static_cast<unsigned long long>(unmatched_),
+                 static_cast<unsigned long long>(untimed_));
+}
+
+}  // namespace srv6bpf::sim

@@ -27,6 +27,14 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
   Side& tx = sides_[from_side];
   Side& rx = sides_[1 - from_side];
   if (rx.node == nullptr || burst.empty()) return;  // unattached: blackhole
+  if (!up_) {
+    // Link down: the egress blackholes. The forwarding node normally never
+    // gets here (Node::dispatch_burst checks is_up() and charges its own
+    // drops_link_down / fast-reroutes first); this guard covers direct
+    // transmit() callers and packets committed between check and send.
+    tx.stats.drops_link_down += burst.size();
+    return;
+  }
 
   const TimeNs now = loop_.now();
   net::PacketBurst out;  // survivors, stamped with their wire arrival times

@@ -43,6 +43,16 @@ class Link {
   std::uint64_t bandwidth_bps() const noexcept { return bandwidth_bps_; }
   TimeNs prop_delay() const noexcept { return prop_delay_; }
 
+  // ---- failure/churn machinery ----
+  // Administrative/physical link state. While down, transmits from either
+  // side are dropped at the egress (counted in SideStats::drops_link_down);
+  // packets already on the wire still arrive — propagation is not recalled,
+  // exactly like a fiber cut behind a long haul. Nodes consult is_up() for
+  // fast-reroute (seg6::FrrBackup) before handing a burst to the link.
+  // Network::schedule_link_down/up flip this from the event loop.
+  bool is_up() const noexcept { return up_; }
+  void set_up(bool up) noexcept { up_ = up; }
+
   // Egress buffer size (drop-tail). Defaults to 512 KiB; WAN-access links
   // typically configure much less.
   void set_wire_queue_limit(std::uint32_t bytes) noexcept {
@@ -52,7 +62,8 @@ class Link {
   struct SideStats {
     std::uint64_t tx_packets = 0;
     std::uint64_t tx_bytes = 0;
-    std::uint64_t drops = 0;  // egress queue overflow (wire or netem)
+    std::uint64_t drops = 0;  // egress queue overflow (wire or netem loss)
+    std::uint64_t drops_link_down = 0;  // transmit attempted while down
   };
   const SideStats& stats(int side) const { return sides_[side].stats; }
 
@@ -70,6 +81,7 @@ class Link {
   std::uint64_t bandwidth_bps_;
   TimeNs prop_delay_;
   std::uint32_t wire_queue_limit_bytes_ = 512 * 1024;
+  bool up_ = true;
   Side sides_[2];
 };
 

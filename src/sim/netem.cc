@@ -9,6 +9,15 @@ NetemQdisc::Decision NetemQdisc::enqueue(TimeNs now, std::size_t wire_bytes,
                                          Rng& rng) {
   TimeNs ready = now;
 
+  // Random loss first (netem's loss stage sits before queueing): the packet
+  // never occupies shaper or wire time. Guarded so loss-free configs consume
+  // no extra RNG draws and keep their historical jitter sequences.
+  if (cfg_.loss_prob > 0 && rng.chance(cfg_.loss_prob)) {
+    ++drops_;
+    ++losses_;
+    return {.dropped = true, .deliver_at = 0};
+  }
+
   if (cfg_.rate_bps > 0) {
     // Backlog currently in the shaper, expressed in time; reject when the
     // corresponding byte count exceeds the queue limit (tail drop).

@@ -22,6 +22,11 @@ struct NetemConfig {
   std::uint64_t rate_bps = 0;  // 0 = unshaped
   std::uint32_t limit_bytes = 256 * 1024;  // queue capacity for the shaper
   bool keep_order = true;      // enforce FIFO delivery despite jitter
+  // Independent per-packet loss probability (netem's `loss random P%`).
+  // 0 keeps the qdisc's RNG consumption unchanged, so loss-free
+  // configurations draw the exact same jitter sequences as before the knob
+  // existed. Losses are counted separately from queue-overflow drops.
+  double loss_prob = 0.0;
 };
 
 class NetemQdisc {
@@ -44,12 +49,16 @@ class NetemQdisc {
   Decision enqueue(TimeNs now, std::size_t wire_bytes, Rng& rng);
 
   std::uint64_t drops() const noexcept { return drops_; }
+  // Packets dropped by the random-loss stage specifically (a subset of the
+  // Decision.dropped outcomes, kept separate from queue overflow).
+  std::uint64_t losses() const noexcept { return losses_; }
 
  private:
   NetemConfig cfg_;
   TimeNs shaper_free_at_ = 0;   // when the rate shaper finishes current work
   TimeNs last_delivery_ = 0;    // for keep_order
   std::uint64_t drops_ = 0;
+  std::uint64_t losses_ = 0;
   // Ornstein-Uhlenbeck jitter state (deviation from delay_ns, in ns).
   double ou_state_ = 0.0;
   TimeNs ou_last_t_ = 0;

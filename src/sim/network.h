@@ -48,6 +48,36 @@ class Network {
   void run_until(TimeNs t) { loop_.run_until(t); }
   void run_for(TimeNs dt) { loop_.run_until(loop_.now() + dt); }
 
+  // ---- failure / churn scenario machinery ----
+  // Scheduled topology events for failure scenarios: link flaps and route
+  // churn injected at absolute sim times while traffic is in flight. All of
+  // them are thin event-loop wrappers — the state change happens atomically
+  // at the scheduled instant, exactly like an `ip link set down` or an IGP
+  // update landing on a running router.
+  void schedule_link_down(Link& link, TimeNs t) {
+    loop_.schedule_at(t, [&link] { link.set_up(false); });
+  }
+  void schedule_link_up(Link& link, TimeNs t) {
+    loop_.schedule_at(t, [&link] { link.set_up(true); });
+  }
+  // Route add at `t` (IGP reconvergence installing a repaired path). The
+  // route is parked in a shared_ptr so the closure stays within InlineFn's
+  // inline capture budget regardless of the segment lists it carries.
+  void schedule_route_add(Node& node, int table, seg6::Route route, TimeNs t) {
+    auto r = std::make_shared<seg6::Route>(std::move(route));
+    loop_.schedule_at(t, [&node, table, r] {
+      node.ns().table(table).add_route(*r);
+    });
+  }
+  // Exact-prefix withdraw at `t` (the failure notification reaching this
+  // node's RIB).
+  void schedule_route_withdraw(Node& node, int table, const net::Prefix& prefix,
+                               TimeNs t) {
+    loop_.schedule_at(t, [&node, table, prefix] {
+      node.ns().table(table).remove_route(prefix);
+    });
+  }
+
  private:
   EventLoop loop_;
   Rng rng_;

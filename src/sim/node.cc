@@ -105,7 +105,9 @@ void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
   CpuContext& ctx = contexts()[steer(pkt)];
   Iface& iface = ifaces_[static_cast<std::size_t>(ifindex)];
   if (!iface.rx_rings[ctx.id].push(std::move(pkt), cpu.rx_queue_limit)) {
-    ++nic_stats_.drops_rx_queue;
+    // Stamped with the packet's own wire arrival (not the coalesced event
+    // clock) so first-drop timestamps stay burst-invariant.
+    nic_stats_.note_drop(DropReason::kRxQueue, pkt.rx_tstamp_ns);
     return;
   }
   maybe_schedule_service(ctx);
@@ -257,7 +259,13 @@ void Node::dispatch_burst(net::PacketBurst& b) {
         break;
       case net::BurstVerdict::kForward:
         if (meta.oif < 0 || meta.oif >= static_cast<int>(ifaces_.size())) {
-          ++stats.drops_no_route;
+          stats.note_drop(DropReason::kNoRoute, meta.at_ns);
+          meta.verdict = net::BurstVerdict::kDrop;
+        } else if (iface_link_down(meta.oif)) {
+          // Carrier is off and no FRR backup rescued the packet in the
+          // datapath: charge the blackhole here, before the link would
+          // silently eat it.
+          stats.note_drop(DropReason::kLinkDown, meta.at_ns);
           meta.verdict = net::BurstVerdict::kDrop;
         }
         break;

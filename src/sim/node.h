@@ -66,6 +66,14 @@ class Node {
   std::size_t interface_count() const noexcept { return ifaces_.size(); }
   // Throws std::out_of_range on a bad ifindex.
   const net::Ipv6Addr& interface_addr(int ifindex) const;
+  // True when `oif` names a valid interface whose attached link is down —
+  // the condition that triggers a route's fast-reroute backup in the
+  // datapath and the drops_link_down counter at dispatch.
+  bool iface_link_down(int oif) const noexcept {
+    return oif >= 0 && static_cast<std::size_t>(oif) < ifaces_.size() &&
+           ifaces_[static_cast<std::size_t>(oif)].link != nullptr &&
+           !ifaces_[static_cast<std::size_t>(oif)].link->is_up();
+  }
 
   // ---- CPU service model ----
   struct Cpu {

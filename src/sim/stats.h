@@ -12,6 +12,23 @@ struct ProcessTrace;
 
 namespace srv6bpf::sim {
 
+// Why a packet was dropped on a node — one enumerator per NodeStats drop
+// counter. Used to attribute drops to a cause *and* a time: NodeStats keeps
+// the timestamp of each reason's first occurrence, which is what lets a
+// failover scenario tell "the blackhole opened here" apart from steady-state
+// queue pressure.
+enum class DropReason : std::size_t {
+  kRxQueue = 0,   // CPU backlog overflow (the 610kpps cap)
+  kNoRoute,
+  kTtl,
+  kVerdict,       // seg6local / BPF_DROP / invalid SRH
+  kMalformed,
+  kLinkDown,      // egress interface's link administratively/physically down
+  kCount,
+};
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kCount);
+
 // Cumulative per-node sums of the per-packet ProcessTrace counters: what the
 // datapath did over the node's lifetime, engine-attributed. The burst
 // differential test asserts these are identical across burst sizes.
@@ -52,7 +69,40 @@ struct NodeStats {
   std::uint64_t drops_ttl = 0;
   std::uint64_t drops_verdict = 0;    // seg6local / BPF_DROP / invalid SRH
   std::uint64_t drops_malformed = 0;
+  std::uint64_t drops_link_down = 0;  // egress link was down at transmit
   std::uint64_t icmp_time_exceeded_sent = 0;
+  // SRv6 fast-reroute activations: packets steered onto a route's
+  // precomputed backup (seg6::FrrBackup) because the primary nexthop's link
+  // was down.
+  std::uint64_t frr_reroutes = 0;
+
+  // Simulated time of each drop reason's *first* occurrence on this shard
+  // (kNeverDropped when the reason never fired). Drops are stamped with the
+  // packet's own logical time — wire arrival on the receive path, CPU
+  // completion on the transmit path — not the (burst-coalesced) event clock,
+  // so the values are burst-invariant like every other counter here.
+  static constexpr std::uint64_t kNeverDropped = ~0ull;
+  std::uint64_t first_drop_ns[kDropReasonCount] = {
+      kNeverDropped, kNeverDropped, kNeverDropped,
+      kNeverDropped, kNeverDropped, kNeverDropped};
+
+  // Bumps the counter for `reason` and records the first-occurrence time.
+  void note_drop(DropReason reason, std::uint64_t at_ns) {
+    switch (reason) {
+      case DropReason::kRxQueue: ++drops_rx_queue; break;
+      case DropReason::kNoRoute: ++drops_no_route; break;
+      case DropReason::kTtl: ++drops_ttl; break;
+      case DropReason::kVerdict: ++drops_verdict; break;
+      case DropReason::kMalformed: ++drops_malformed; break;
+      case DropReason::kLinkDown: ++drops_link_down; break;
+      case DropReason::kCount: return;
+    }
+    std::uint64_t& first = first_drop_ns[static_cast<std::size_t>(reason)];
+    if (at_ns < first) first = at_ns;
+  }
+  std::uint64_t first_drop_at(DropReason reason) const noexcept {
+    return first_drop_ns[static_cast<std::size_t>(reason)];
+  }
 
   // Burst-pipeline observability. service_events counts CPU service
   // activations (one per drained burst), serviced_packets the packets those
@@ -75,28 +125,83 @@ struct NodeStats {
     drops_ttl += o.drops_ttl;
     drops_verdict += o.drops_verdict;
     drops_malformed += o.drops_malformed;
+    drops_link_down += o.drops_link_down;
     icmp_time_exceeded_sent += o.icmp_time_exceeded_sent;
+    frr_reroutes += o.frr_reroutes;
     service_events += o.service_events;
     serviced_packets += o.serviced_packets;
     pipeline += o.pipeline;
+    // First-occurrence folds as a min, which keeps += associative and
+    // commutative across shards (kNeverDropped is the identity).
+    for (std::size_t i = 0; i < kDropReasonCount; ++i)
+      if (o.first_drop_ns[i] < first_drop_ns[i])
+        first_drop_ns[i] = o.first_drop_ns[i];
     return *this;
   }
 
   std::uint64_t total_drops() const noexcept {
     return drops_rx_queue + drops_no_route + drops_ttl + drops_verdict +
-           drops_malformed;
+           drops_malformed + drops_link_down;
   }
 };
 
 // Accumulates packet/byte counts over a measurement window; used by sinks to
 // report kpps / goodput exactly the way the paper's figures do.
+//
+// The timestamped record() overload additionally tracks inter-arrival gaps
+// (min/mean/max), so report() can expose burstiness: a min gap far below the
+// mean flags microbursts that a window-averaged kpps number hides entirely.
 class RateMeter {
  public:
   void record(std::size_t payload_bytes) {
     ++packets_;
     bytes_ += payload_bytes;
   }
-  void reset() { packets_ = bytes_ = 0; }
+  // Timestamped variant: also folds the gap since the previous timestamped
+  // arrival into the min/mean/max inter-arrival tracking. `now` must be
+  // monotone across calls (it is the sim clock in every current user).
+  void record(std::size_t payload_bytes, TimeNs now) {
+    record(payload_bytes);
+    if (have_last_arrival_) {
+      const TimeNs gap = now >= last_arrival_ ? now - last_arrival_ : 0;
+      if (gap < min_gap_) min_gap_ = gap;
+      if (gap > max_gap_) max_gap_ = gap;
+      gap_sum_ += gap;
+      ++gap_count_;
+    }
+    have_last_arrival_ = true;
+    last_arrival_ = now;
+  }
+  void reset() { *this = RateMeter{}; }
+
+  // Window summary: the averaged rates plus the inter-arrival gap spread
+  // observed since the last reset (gaps all zero when fewer than two
+  // timestamped arrivals were recorded).
+  struct Report {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    double pps = 0;
+    double kpps = 0;
+    double mbps = 0;
+    TimeNs min_gap_ns = 0;
+    double mean_gap_ns = 0;
+    TimeNs max_gap_ns = 0;
+  };
+  Report report(TimeNs window) const noexcept {
+    Report r;
+    r.packets = packets_;
+    r.bytes = bytes_;
+    r.pps = pps(window);
+    r.kpps = kpps(window);
+    r.mbps = mbps(window);
+    if (gap_count_ > 0) {
+      r.min_gap_ns = min_gap_;
+      r.max_gap_ns = max_gap_;
+      r.mean_gap_ns = static_cast<double>(gap_sum_) /
+                      static_cast<double>(gap_count_);
+    }
+    return r;
+  }
 
   std::uint64_t packets() const noexcept { return packets_; }
   std::uint64_t bytes() const noexcept { return bytes_; }
@@ -116,6 +221,12 @@ class RateMeter {
  private:
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
+  bool have_last_arrival_ = false;
+  TimeNs last_arrival_ = 0;
+  TimeNs min_gap_ = ~TimeNs{0};
+  TimeNs max_gap_ = 0;
+  std::uint64_t gap_sum_ = 0;
+  std::uint64_t gap_count_ = 0;
 };
 
 }  // namespace srv6bpf::sim

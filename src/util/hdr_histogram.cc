@@ -1,0 +1,25 @@
+#include "util/hdr_histogram.h"
+
+#include <cmath>
+
+namespace srv6bpf::util {
+
+std::uint64_t HdrHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based from the lowest value.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = slot_upper_bound(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+}  // namespace srv6bpf::util
