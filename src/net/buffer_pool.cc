@@ -41,15 +41,20 @@ struct BurstPoolState {
 };
 
 // Construct-on-first-use so cross-TU static init order can't bite; the
-// states live until process exit (handles never outlive the event loops
-// that hold them, which die well before static destruction).
+// states live until thread exit (handles never outlive the event loops
+// that hold them, which die well before then). thread_local, not global:
+// each PDES worker gets its own freelist, so the pools stay lock-free under
+// parallel runs. A buffer released on a different thread than it was
+// acquired on simply lands in the releasing thread's freelist — the pool is
+// an allocator cache, not an ownership registry, so migration is harmless
+// (stats are per-thread too; the zero-alloc gates all run single-threaded).
 BufferPoolState& buf_state() {
-  static BufferPoolState s;
+  thread_local BufferPoolState s;
   return s;
 }
 
 BurstPoolState& burst_state() {
-  static BurstPoolState s;
+  thread_local BurstPoolState s;
   return s;
 }
 

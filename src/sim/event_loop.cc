@@ -6,7 +6,12 @@ namespace srv6bpf::sim {
 
 void EventLoop::schedule_at_key(TimeNs t, std::uint32_t key, Fn fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, key, next_seq_++, std::move(fn)});
+  queue_.push(Event{t, key, Stamp{now_, domain_, next_seq_++}, std::move(fn)});
+}
+
+void EventLoop::inject(TimeNs t, std::uint32_t key, Stamp stamp, Fn fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, key, stamp, std::move(fn)});
 }
 
 bool EventLoop::step() {
@@ -19,6 +24,15 @@ bool EventLoop::step() {
   ++executed_;
   ev.fn();
   return true;
+}
+
+std::size_t EventLoop::run_events_before(TimeNs bound) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t < bound) {
+    step();
+    ++n;
+  }
+  return n;
 }
 
 void EventLoop::run_until(TimeNs t) {

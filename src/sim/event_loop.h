@@ -6,6 +6,19 @@
 // heap-allocates once the queue's reserved storage is warm, which is what
 // keeps the steady-state forwarding path allocation-free (bench_hotpath
 // gates allocs-per-packet at zero).
+//
+// Ordering contract. Events execute in ascending (t, key, birth) order where
+// `birth` is the event's provenance stamp: the scheduling loop's clock at
+// schedule time, the scheduling domain's id, and a per-domain monotone
+// sequence number. In a single-loop (serial) run the stamp reduces exactly
+// to the historical FIFO tie-break — the clock is non-decreasing across
+// schedule calls, the domain is constant, and the sequence number is the old
+// global counter — so same-(t, key) events still run in scheduling order,
+// bit-for-bit. Under parallel PDES execution (sim/pdes_domain.h) the stamp
+// is what makes the tie-break *deterministic*: a cross-domain delivery
+// carries its sender's stamp through the mailbox, so the merged order per
+// domain is a pure function of the simulation, never of thread interleaving
+// or mailbox arrival order. tests/pdes_test.cc pins both properties.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +34,22 @@ using TimeNs = std::uint64_t;
 inline constexpr TimeNs kMicro = 1000;
 inline constexpr TimeNs kMilli = 1000 * 1000;
 inline constexpr TimeNs kSecond = 1000ull * 1000 * 1000;
+// "No event pending": later than any schedulable time.
+inline constexpr TimeNs kTimeInfinity = ~TimeNs{0};
 
 class EventLoop {
  public:
   using Fn = InlineFn;
+
+  // Provenance of a scheduled event: where and when the schedule call
+  // happened in *logical* time. Totally ordered (birth_t, dom, seq); unique
+  // because seq is per-domain monotone. Cross-domain mailbox messages carry
+  // their sender's stamp so receivers reproduce one global order.
+  struct Stamp {
+    TimeNs birth_t = 0;      // scheduling loop's now() at schedule time
+    std::uint32_t dom = 0;   // scheduling domain id
+    std::uint64_t seq = 0;   // per-domain monotone schedule counter
+  };
 
   EventLoop() {
     // The burst datapath still churns thousands of in-flight events on a
@@ -50,6 +75,34 @@ class EventLoop {
   // be scheduled in.
   void schedule_at_key(TimeNs t, std::uint32_t key, Fn fn);
 
+  // ---- PDES surface (sim/pdes_domain.h) ----
+  // The domain id baked into this loop's stamps. 0 for the serial loop.
+  void set_domain(std::uint32_t dom) noexcept { domain_ = dom; }
+  std::uint32_t domain() const noexcept { return domain_; }
+  // Allocates a stamp for a schedule that will happen *elsewhere* (a
+  // cross-domain mailbox message): consumes this loop's sequence counter at
+  // its current clock, exactly as a local schedule_at would have.
+  Stamp make_stamp() noexcept { return Stamp{now_, domain_, next_seq_++}; }
+  // Enqueues an event that was stamped by another loop (mailbox drain).
+  // `t` is clamped to now() like schedule_at — conservative synchronization
+  // guarantees arrivals are never in the receiver's past, so the clamp is
+  // defensive only.
+  void inject(TimeNs t, std::uint32_t key, Stamp stamp, Fn fn);
+  // Earliest pending event time, kTimeInfinity when idle.
+  TimeNs next_time() const noexcept {
+    return queue_.empty() ? kTimeInfinity : queue_.top().t;
+  }
+  // Runs every event with t < bound (strict: `bound` is the conservative
+  // horizon, events *at* it may still gain same-time predecessors from a
+  // neighbor domain). Returns the number executed. now() is left at the last
+  // executed event, never advanced to bound.
+  std::size_t run_events_before(TimeNs bound);
+  // Moves the clock forward to `t` without running anything (end-of-phase
+  // catch-up for idle domains). No-op when t <= now().
+  void advance_to(TimeNs t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
   // Runs a single event; false when the queue is empty.
   bool step();
   // Runs until the queue empties or the clock passes `t`.
@@ -65,18 +118,22 @@ class EventLoop {
   struct Event {
     TimeNs t;
     std::uint32_t key;  // same-time ordering class (CPU-context id)
-    std::uint64_t seq;  // FIFO tie-break within (t, key)
+    Stamp birth;        // provenance: deterministic FIFO tie-break
     Fn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.t != b.t) return a.t > b.t;
       if (a.key != b.key) return a.key > b.key;
-      return a.seq > b.seq;
+      if (a.birth.birth_t != b.birth.birth_t)
+        return a.birth.birth_t > b.birth.birth_t;
+      if (a.birth.dom != b.birth.dom) return a.birth.dom > b.birth.dom;
+      return a.birth.seq > b.birth.seq;
     }
   };
 
   TimeNs now_ = 0;
+  std::uint32_t domain_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

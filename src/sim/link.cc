@@ -4,22 +4,34 @@
 
 #include "net/buffer_pool.h"
 #include "sim/node.h"
+#include "sim/pdes_mailbox.h"
 
 namespace srv6bpf::sim {
 
 Link::Link(EventLoop& loop, Rng& rng, std::uint64_t bandwidth_bps,
            TimeNs prop_delay_ns)
-    : loop_(loop), rng_(rng), bandwidth_bps_(bandwidth_bps),
-      prop_delay_(prop_delay_ns) {}
+    : bandwidth_bps_(bandwidth_bps), prop_delay_(prop_delay_ns) {
+  for (Side& s : sides_) {
+    s.loop = &loop;
+    s.rng = &rng;
+  }
+}
 
 void Link::attach(int side, Node* node, int ifindex) {
   sides_[side].node = node;
   sides_[side].ifindex = ifindex;
 }
 
+void Link::bind_side(int side, EventLoop& loop, Rng* rng,
+                     PdesMailbox* crossing) {
+  sides_[side].loop = &loop;
+  sides_[side].rng = rng;
+  sides_[side].crossing = crossing;
+}
+
 void Link::transmit(net::Packet&& pkt, int from_side) {
   net::PacketBurst b;
-  b.push(std::move(pkt), loop_.now());
+  b.push(std::move(pkt), sides_[from_side].loop->now());
   transmit_burst(std::move(b), from_side);
 }
 
@@ -27,16 +39,17 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
   Side& tx = sides_[from_side];
   Side& rx = sides_[1 - from_side];
   if (rx.node == nullptr || burst.empty()) return;  // unattached: blackhole
-  if (!up_) {
+  if (!side_up_[from_side]) {
     // Link down: the egress blackholes. The forwarding node normally never
-    // gets here (Node::dispatch_burst checks is_up() and charges its own
+    // gets here (Node::dispatch_burst checks the carrier and charges its own
     // drops_link_down / fast-reroutes first); this guard covers direct
     // transmit() callers and packets committed between check and send.
     tx.stats.drops_link_down += burst.size();
     return;
   }
 
-  const TimeNs now = loop_.now();
+  EventLoop& loop = *tx.loop;
+  const TimeNs now = loop.now();
   net::PacketBurst out;  // survivors, stamped with their wire arrival times
   for (std::size_t i = 0; i < burst.size(); ++i) {
     net::Packet& pkt = burst.pkt(i);
@@ -46,7 +59,7 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
     const std::size_t wire_bytes = pkt.size() + kWireOverheadBytes;
 
     // Stage 1: the egress qdisc (netem shaping/delay/jitter).
-    const NetemQdisc::Decision qd = tx.qdisc.enqueue(t, wire_bytes, rng_);
+    const NetemQdisc::Decision qd = tx.qdisc.enqueue(t, wire_bytes, *tx.rng);
     if (qd.dropped) {
       ++tx.stats.drops;
       continue;
@@ -85,10 +98,18 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
   const int dst_if = rx.ifindex;
   net::BurstPool::Handle h(net::BurstPool::acquire());
   *h = std::move(out);
-  loop_.schedule_at(last_arrival,
-                    [dst_node, dst_if, h = std::move(h)]() mutable {
-                      dst_node->receive_burst_from_link(std::move(*h), dst_if);
-                    });
+  InlineFn deliver([dst_node, dst_if, h = std::move(h)]() mutable {
+    dst_node->receive_burst_from_link(std::move(*h), dst_if);
+  });
+  if (tx.crossing == nullptr) {
+    loop.schedule_at(last_arrival, std::move(deliver));
+  } else {
+    // Cross-domain delivery: the peer's domain drains this ring and injects
+    // the event with *this* side's provenance stamp, so the receiver's
+    // same-timestamp tie-break is independent of drain timing.
+    tx.crossing->push(
+        PdesMail{last_arrival, 0, loop.make_stamp(), std::move(deliver)});
+  }
 }
 
 }  // namespace srv6bpf::sim

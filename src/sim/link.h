@@ -1,5 +1,13 @@
 // Point-to-point link: two attachment points, a wire bandwidth, a propagation
 // delay, and a netem qdisc on each egress (sim/netem.h).
+//
+// Each side carries its own execution bindings — an EventLoop, an RNG stream
+// for its netem qdisc, and (under parallel PDES runs, sim/pdes_domain.h) an
+// optional outbound mailbox. In the serial simulator both sides point at the
+// Network's single loop and shared RNG, so nothing changes; PdesNet::seal
+// rebinds each side into its node's domain. Egress state (qdisc,
+// wire_free_at, stats, carrier replica) is strictly per-side, so the two
+// domains sharing a link never touch the same mutable state.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 namespace srv6bpf::sim {
 
 class Node;
+class PdesMailbox;
 
 // Ethernet framing overhead added to every packet on the wire: 14 header +
 // 4 FCS + 8 preamble + 12 IPG.
@@ -37,7 +46,9 @@ class Link {
   // metadata at_ns, clamped to now) — so per-packet wire math is identical
   // to sequential transmit() calls — and the whole burst is delivered to the
   // peer with a single scheduled event at the last packet's arrival, each
-  // packet carrying its own arrival time in the metadata.
+  // packet carrying its own arrival time in the metadata. When the peer
+  // lives in another PDES domain, the delivery crosses through the side's
+  // mailbox instead, stamped with this side's loop provenance.
   void transmit_burst(net::PacketBurst&& burst, int from_side);
 
   std::uint64_t bandwidth_bps() const noexcept { return bandwidth_bps_; }
@@ -50,8 +61,24 @@ class Link {
   // exactly like a fiber cut behind a long haul. Nodes consult is_up() for
   // fast-reroute (seg6::FrrBackup) before handing a burst to the link.
   // Network::schedule_link_down/up flip this from the event loop.
-  bool is_up() const noexcept { return up_; }
-  void set_up(bool up) noexcept { up_ = up; }
+  //
+  // The carrier is replicated per side: each end's domain flips (and reads)
+  // only its own replica, so a link cut lands in both domains at the same
+  // virtual instant without either thread touching the other's state. The
+  // serial simulator flips both replicas in one event; set_up keeps doing
+  // exactly that.
+  bool is_up() const noexcept { return side_up_[0] && side_up_[1]; }
+  void set_up(bool up) noexcept { side_up_[0] = side_up_[1] = up; }
+  bool side_up(int side) const noexcept { return side_up_[side]; }
+  void set_side_up(int side, bool up) noexcept { side_up_[side] = up; }
+
+  // ---- PDES surface (sim/pdes_domain.h) ----
+  Node* side_node(int side) const noexcept { return sides_[side].node; }
+  EventLoop& side_loop(int side) noexcept { return *sides_[side].loop; }
+  // Rebinds one side's execution context at PdesNet::seal time: the domain
+  // loop it schedules on, the RNG stream its qdisc draws from, and the
+  // outbound mailbox (null = the peer shares the domain, deliver locally).
+  void bind_side(int side, EventLoop& loop, Rng* rng, PdesMailbox* crossing);
 
   // Egress buffer size (drop-tail). Defaults to 512 KiB; WAN-access links
   // typically configure much less.
@@ -74,14 +101,15 @@ class Link {
     NetemQdisc qdisc;
     TimeNs wire_free_at = 0;
     SideStats stats;
+    EventLoop* loop = nullptr;       // this side's scheduling domain
+    Rng* rng = nullptr;              // this side's netem stream
+    PdesMailbox* crossing = nullptr; // outbound ring when the peer is remote
   };
 
-  EventLoop& loop_;
-  Rng& rng_;
   std::uint64_t bandwidth_bps_;
   TimeNs prop_delay_;
   std::uint32_t wire_queue_limit_bytes_ = 512 * 1024;
-  bool up_ = true;
+  bool side_up_[2] = {true, true};
   Side sides_[2];
 };
 

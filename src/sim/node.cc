@@ -14,9 +14,9 @@
 namespace srv6bpf::sim {
 
 Node::Node(EventLoop& loop, Rng& rng, std::string name)
-    : loop_(loop), rng_(rng), name_(std::move(name)), ns_(name_),
+    : loop_(&loop), rng_(rng), name_(std::move(name)), ns_(name_),
       datapath_(*this) {
-  ns_.clock = [this] { return loop_.now(); };
+  ns_.clock = [this] { return loop_->now(); };
 }
 
 int Node::add_interface(Link& link, int side, const net::Ipv6Addr& addr) {
@@ -115,7 +115,7 @@ void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
 
 void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
   net::PacketBurst b;
-  b.push(std::move(pkt), /*at_ns=*/loop_.now());
+  b.push(std::move(pkt), /*at_ns=*/loop_->now());
   receive_burst_from_link(std::move(b), ifindex);
 }
 
@@ -147,8 +147,8 @@ bool Node::rings_empty(const CpuContext& ctx) const {
 void Node::maybe_schedule_service(CpuContext& ctx) {
   if (ctx.servicing || rings_empty(ctx)) return;
   ctx.servicing = true;
-  const TimeNs start = std::max(loop_.now(), ctx.busy_until);
-  loop_.schedule_at_key(start, ctx.id,
+  const TimeNs start = std::max(loop_->now(), ctx.busy_until);
+  loop_->schedule_at_key(start, ctx.id,
                         [this, k = ctx.id] { service_burst(ctxs_[k]); });
 }
 
@@ -184,7 +184,7 @@ void Node::service_burst(CpuContext& ctx) {
 
   // Per-packet completion times are exactly the sequential model's: packet i
   // finishes when this core has served every packet before it plus itself.
-  TimeNs t = std::max(loop_.now(), ctx.busy_until);
+  TimeNs t = std::max(loop_->now(), ctx.busy_until);
   for (std::size_t i = 0; i < b.size(); ++i) {
     t += packet_cost_ns(cpu.profile, traces[i]);
     b.meta(i).at_ns = t;
@@ -196,7 +196,7 @@ void Node::service_burst(CpuContext& ctx) {
   ns_.current_cpu = prev_cpu;
 
   if (!rings_empty(ctx))
-    loop_.schedule_at_key(ctx.busy_until, ctx.id,
+    loop_->schedule_at_key(ctx.busy_until, ctx.id,
                           [this, k = ctx.id] { service_burst(ctxs_[k]); });
   else
     ctx.servicing = false;
@@ -226,7 +226,7 @@ void Node::process_and_dispatch(net::PacketBurst& b, bool local_out) {
   std::array<seg6::ProcessTrace, net::kMaxBurstPackets> traces;
   datapath_.process_burst(b, local_out, traces.data());
   trace_ = traces[b.size() - 1];
-  const TimeNs now = loop_.now();
+  const TimeNs now = loop_->now();
   for (std::size_t i = 0; i < b.size(); ++i) b.meta(i).at_ns = now;
   dispatch_burst(b);
 
@@ -247,10 +247,10 @@ void Node::dispatch_burst(net::PacketBurst& b) {
           // than this service event: defer the handler so its side effects
           // (replies, timers) run at the same sim time as the sequential
           // model's dispatch-at-busy_until event.
-          if (meta.at_ns > loop_.now()) {
-            loop_.schedule_at(meta.at_ns,
+          if (meta.at_ns > loop_->now()) {
+            loop_->schedule_at(meta.at_ns,
                               [this, p = std::move(b.pkt(i))]() mutable {
-                                local_handler_(std::move(p), loop_.now());
+                                local_handler_(std::move(p), loop_->now());
                               });
           } else {
             local_handler_(std::move(b.pkt(i)), meta.at_ns);

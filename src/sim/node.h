@@ -57,7 +57,14 @@ class Node {
 
   const std::string& name() const noexcept { return name_; }
   seg6::Netns& ns() noexcept { return ns_; }
-  EventLoop& loop() noexcept { return loop_; }
+  EventLoop& loop() noexcept { return *loop_; }
+
+  // Repoints this node's scheduling (and its clock) at a PDES domain loop
+  // (PdesNet::seal). Everything the node or its apps schedule afterwards —
+  // CPU service events, deferred local deliveries, trafgen ticks — lands in
+  // the domain. Only valid while the node is quiescent: before traffic
+  // starts and with nothing in flight.
+  void bind_loop(EventLoop& loop) noexcept { loop_ = &loop; }
 
   // ---- interfaces ----
   // Registers an interface attached to `link` at `side` with address `addr`
@@ -68,11 +75,15 @@ class Node {
   const net::Ipv6Addr& interface_addr(int ifindex) const;
   // True when `oif` names a valid interface whose attached link is down —
   // the condition that triggers a route's fast-reroute backup in the
-  // datapath and the drops_link_down counter at dispatch.
+  // datapath and the drops_link_down counter at dispatch. Reads this side's
+  // carrier replica only, so under PDES partitioning the check never
+  // touches the peer domain's state (and sees the cut at exactly the
+  // instant this domain's link-down event fires).
   bool iface_link_down(int oif) const noexcept {
-    return oif >= 0 && static_cast<std::size_t>(oif) < ifaces_.size() &&
-           ifaces_[static_cast<std::size_t>(oif)].link != nullptr &&
-           !ifaces_[static_cast<std::size_t>(oif)].link->is_up();
+    if (oif < 0 || static_cast<std::size_t>(oif) >= ifaces_.size())
+      return false;
+    const Iface& ifc = ifaces_[static_cast<std::size_t>(oif)];
+    return ifc.link != nullptr && !ifc.link->side_up(ifc.side);
   }
 
   // ---- CPU service model ----
@@ -172,7 +183,7 @@ class Node {
   // context, as it would on a real core.
   CpuContext& cur() noexcept { return *cur_ctx_; }
 
-  EventLoop& loop_;
+  EventLoop* loop_;  // rebindable: PdesNet::seal moves the node into a domain
   Rng& rng_;
   std::string name_;
   seg6::Netns ns_;

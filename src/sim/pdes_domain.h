@@ -1,0 +1,137 @@
+// Conservative parallel discrete-event simulation (PDES) across host
+// threads.
+//
+// The topology's nodes partition into *domains*, each with its own
+// sim::EventLoop. Intra-domain events (CPU service, local delivery, same-
+// domain link hops) run exactly as in the serial simulator. A link whose two
+// ends live in different domains becomes a synchronization edge: deliveries
+// cross through a lock-free SPSC mailbox (sim/pdes_mailbox.h) carrying the
+// sender's provenance stamp, and the link's propagation delay becomes the
+// edge's *lookahead* — a promise that no message sent when the source
+// domain's clock reads H can arrive before H + lookahead.
+//
+// Synchronization is the classic null-message/horizon-broadcast scheme
+// (Chandy–Misra–Bryant with horizons instead of explicit null messages):
+// every domain publishes a monotone horizon H_d = "I will never again send
+// anything timestamped < H_d", and each domain may safely execute every
+// event strictly below
+//
+//     LBTS_d = min over inbound edges (src, la):  H_src + la
+//
+// Because horizons advance even when a domain has nothing to execute (an
+// idle domain's horizon jumps straight to its bound), the scheme never
+// deadlocks; a zero-lookahead cross-domain edge is rejected at seal time.
+//
+// Determinism contract (the whole point — see event_loop.h): each domain's
+// execution order is ascending (t, key, stamp), and cross-domain messages
+// carry stamps allocated from the *sender's* clock and sequence counter. The
+// merged order inside every domain is therefore a pure function of the
+// simulation for a fixed partition, regardless of worker count, thread
+// interleaving, or when mailboxes happen to be drained: N-thread runs are
+// bit-identical to the 1-thread run of the same partition. Verified in
+// tests/pdes_test.cc against the mc_test golden digests.
+//
+// Memory-ordering protocol (the one subtle invariant): a consumer reads the
+// producer's horizon (acquire) *before* draining the producer's mailbox, and
+// the producer pushes into the mailbox (release on the ring cursor) *before*
+// publishing a horizon that passes the message (release). So when a consumer
+// computes LBTS from a horizon value H, every message timestamped < H + la
+// is already visible in the ring — nothing below the executed bound can
+// materialize later.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/pdes_mailbox.h"
+#include "util/rng.h"
+
+namespace srv6bpf::sim {
+
+class Node;
+class Link;
+
+class PdesNet {
+ public:
+  explicit PdesNet(std::uint64_t seed) : seed_(seed) {}
+
+  // Number of domains the topology partitions into. Must be set (>= 1)
+  // before seal(); ignored afterwards.
+  void set_domain_count(std::size_t p) { domain_count_ = p; }
+  std::size_t domain_count() const noexcept { return domains_.size(); }
+
+  // Explicit placement override; nodes without one hash by name.
+  void assign(const Node* node, std::uint32_t dom);
+  // Placement of `node` (valid for every node after seal; before seal only
+  // for explicitly assigned ones — throws otherwise).
+  std::uint32_t domain_of(const Node* node) const;
+
+  bool sealed() const noexcept { return sealed_; }
+
+  // Freezes the partition: creates the per-domain loops, rebinds every node
+  // and link side into its domain, derives the lookahead edges and mailboxes
+  // from cross-domain links, and re-seeds per-side netem RNG streams (the
+  // serial simulator's single shared stream would be a data race — and a
+  // nondeterminism source — once two domains draw concurrently).
+  //
+  // `master` (the Network's original loop) must be quiescent: anything
+  // scheduled on it before sealing would be stranded. Schedule traffic and
+  // churn *after* sealing; apps do the right thing automatically because
+  // they schedule via Node::loop(), which seal() repoints.
+  //
+  // Throws std::logic_error on a non-quiescent master and
+  // std::invalid_argument on a cross-domain link with zero propagation
+  // delay (zero lookahead cannot make progress conservatively).
+  void seal(EventLoop& master, const std::vector<std::unique_ptr<Node>>& nodes,
+            const std::vector<std::unique_ptr<Link>>& links);
+
+  // Advances every domain to `t_end` (inclusive, like EventLoop::run_until)
+  // on up to `threads` worker threads (clamped to the domain count;
+  // 0 means 1). Blocks until all domains reach the bound; every domain
+  // loop's clock is left at exactly `t_end`.
+  void run_until(TimeNs t_end, std::size_t threads);
+
+  EventLoop& domain_loop(std::uint32_t dom) { return *domains_[dom]->loop; }
+  // Total events executed across all domain loops.
+  std::uint64_t events_executed() const;
+
+  // The default static partition: FNV-1a over the node name, mod P.
+  static std::uint32_t hash_name(const std::string& name, std::size_t p);
+
+ private:
+  struct Inbound {
+    std::size_t src = 0;       // source domain index
+    TimeNs lookahead = 0;      // min prop delay over that pair's links
+    PdesMailbox* box = nullptr;
+  };
+  struct Domain {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<Inbound> inbound;
+    // Published lower bound on this domain's future send timestamps.
+    alignas(64) std::atomic<TimeNs> horizon{0};
+    bool done = false;  // reached the run window's end (worker-local flag)
+  };
+
+  PdesMailbox* mailbox(std::size_t src, std::size_t dst);
+  void worker(std::size_t worker_id, std::size_t worker_count, TimeNs t_end);
+  bool iterate(Domain& d, TimeNs t_end);
+
+  std::uint64_t seed_;
+  std::size_t domain_count_ = 1;
+  bool sealed_ = false;
+  std::map<const Node*, std::uint32_t> placement_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  // Dense (src * P + dst) index of lazily created SPSC rings.
+  std::vector<std::unique_ptr<PdesMailbox>> mailboxes_;
+  // Per-link-side netem RNG streams; deque for address stability.
+  std::deque<Rng> side_rngs_;
+  std::atomic<std::size_t> done_count_{0};
+};
+
+}  // namespace srv6bpf::sim

@@ -1,0 +1,92 @@
+// PdesMailbox: the lock-free SPSC channel between two PDES domains.
+//
+// Exactly one producer (the sending domain's worker thread, from inside
+// Link::transmit_burst) and one consumer (the receiving domain's worker, in
+// its drain pass) touch a mailbox, so a Lamport single-producer
+// single-consumer ring suffices: two monotone cursors, release on publish,
+// acquire on observe, no CAS anywhere on the fast path.
+//
+// Each message carries the event's absolute delivery time, its ordering key,
+// the *sender's* EventLoop stamp (see event_loop.h — this is what makes the
+// receiver's tie-break deterministic regardless of when the message is
+// drained), and the delivery closure itself, moved through the ring slot so
+// pooled packet buffers travel without copies.
+//
+// Capacity is fixed; `push` spins when the ring is full. That cannot
+// deadlock: every domain worker drains its inbound mailboxes on each
+// scheduling pass even when its conservative horizon forbids executing
+// anything (and even after it has finished the run window), so a spinning
+// producer always finds space within one consumer pass.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "sim/event_loop.h"
+#include "sim/inline_fn.h"
+
+namespace srv6bpf::sim {
+
+struct PdesMail {
+  TimeNs t = 0;            // absolute delivery time in the receiver's domain
+  std::uint32_t key = 0;   // EventLoop ordering key
+  EventLoop::Stamp stamp;  // sender-side provenance (deterministic tie-break)
+  InlineFn fn;
+};
+
+class PdesMailbox {
+ public:
+  // Capacity must cover the peak number of in-flight cross-domain
+  // deliveries between one pair of domains; deliveries are burst-coalesced
+  // (one message per PacketBurst), so even saturated links stay far below
+  // this. Overflow degrades to spinning, never to loss.
+  static constexpr std::size_t kCapacity = 1024;
+  static_assert((kCapacity & (kCapacity - 1)) == 0, "power-of-two ring");
+
+  PdesMailbox() : slots_(std::make_unique<PdesMail[]>(kCapacity)) {}
+
+  PdesMailbox(const PdesMailbox&) = delete;
+  PdesMailbox& operator=(const PdesMailbox&) = delete;
+
+  // Producer side. Returns false when full (slot untouched).
+  bool try_push(PdesMail&& m) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == kCapacity)
+      return false;
+    slots_[tail & (kCapacity - 1)] = std::move(m);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer side; spins until space (see the deadlock-freedom note above).
+  void push(PdesMail&& m) noexcept {
+    while (!try_push(std::move(m))) std::this_thread::yield();
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(PdesMail& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(slots_[head & (kCapacity - 1)]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Cursors on separate cache lines so producer and consumer don't false-
+  // share; slots are written by the producer and read by the consumer with
+  // the tail_ release/acquire pair ordering the hand-off.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  std::unique_ptr<PdesMail[]> slots_;
+};
+
+}  // namespace srv6bpf::sim
