@@ -1,0 +1,436 @@
+// Chaos soak — fault injection under load, with determinism, conservation
+// and goodput as the gates.
+//
+// Runs the generated ring topology (sim/pdes_topo.h: 8 segments x 5 Xeon
+// routers + src + sink = 56 nodes) under saturating per-segment UDP load
+// while a seeded sim::FaultInjector schedule fires: per-packet bit
+// corruption on the ingress and cross links, cross-link flaps, and mid-chain
+// router crashes with the control-plane re-installer (backoff + jitter)
+// bringing the config back. Each (fault_rate, threads) cell reruns the SAME
+// (seed, schedule) pair, so the gates are:
+//
+//   - digest_match (hard, self-gated AND a floor in check_history.py): for
+//     every fault rate, the PDES runs at 1 and 8 worker threads produce the
+//     identical delivery digest — chaos is reproducible, bit for bit.
+//   - violations == 0 (hard): the sim::InvariantAuditor's conservation
+//     ledger balances at every audit point and drains to exactly zero
+//     in-flight packets — no packet is created or lost outside the
+//     accounted drop reasons, crashes and corruption included.
+//   - goodput floor (hard): at the 1% fault rate the delivered fraction
+//     stays above kGoodputFloor — faults degrade the service, they must
+//     not collapse it.
+//
+// A final serial scenario caps the BufferPool (sim::FaultInjector::
+// cap_buffer_pool) under an over-driven link and gates that exhaustion
+// degrades gracefully: admission failures surface as accounted
+// drops_no_buffer at the source, the run never aborts, and the ledger still
+// drains to zero.
+//
+//   ./bench_chaos_soak              # full windows + table
+//   ./bench_chaos_soak --quick      # short windows (CI smoke)
+//   ./bench_chaos_soak --json-only  # no table, just BENCH_chaos.json
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/buffer_pool.h"
+#include "sim/fault_injector.h"
+#include "sim/invariant_auditor.h"
+#include "sim/pdes_topo.h"
+
+using namespace srv6bpf;
+using namespace srv6bpf::bench;
+
+namespace {
+
+constexpr double kPerSegmentPps = 450000;
+constexpr double kGoodputFloor = 0.5;  // at the 1% fault rate
+constexpr std::uint64_t kTopoSeed = 0xc4a05;
+constexpr std::uint64_t kFaultSeed = 0xfa017;
+
+// FNV-1a over little-endian u64s (the pdes_sweep / mc_test digest pattern).
+struct Digest {
+  std::uint64_t delivered = 0;
+  std::uint64_t fnv = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fnv ^= (v >> (i * 8)) & 0xff;
+      fnv *= 1099511628211ull;
+    }
+  }
+};
+
+struct Row {
+  double fault_rate = 0;
+  std::size_t threads = 0;
+  std::uint64_t attempted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;   // node + link-side drops, all reasons
+  std::uint64_t corrupted = 0; // bit-flips injected on the wire
+  std::uint64_t digest = 0;
+  std::size_t violations = 0;
+  std::uint64_t mailbox_spins = 0;
+  double goodput = 0;
+  double wall_s = 0;
+};
+
+// Every distinct link in the topology, discovered through the nodes'
+// interfaces (RingTopo records only the cross links).
+std::vector<sim::Link*> collect_links(const sim::RingTopo& topo) {
+  std::vector<sim::Link*> links;
+  auto add_node_links = [&links](sim::Node* n) {
+    for (std::size_t i = 0; i < n->interface_count(); ++i) {
+      sim::Link* l = n->interface_link(static_cast<int>(i));
+      if (l != nullptr &&
+          std::find(links.begin(), links.end(), l) == links.end())
+        links.push_back(l);
+    }
+  };
+  for (const auto& seg : topo.segments) {
+    add_node_links(seg.src);
+    for (sim::Node* r : seg.routers) add_node_links(r);
+    add_node_links(seg.sink);
+  }
+  return links;
+}
+
+// The declarative fault schedule for one run, scaled to the window. Pure
+// function of (rate, window): every cell with the same rate compiles the
+// identical schedule, which is what the cross-thread digest gate bites on.
+void build_schedule(sim::FaultInjector& inj, const sim::RingTopo& topo,
+                    double rate, sim::TimeNs window) {
+  if (rate <= 0.0) return;
+  for (std::size_t s = 0; s < topo.segments.size(); ++s) {
+    const auto& seg = topo.segments[s];
+    // Bit corruption: the segment's first hop (malformed headers hit the
+    // router datapath) and its cross link (damage lands at the sink).
+    inj.corrupt(*seg.src->interface_link(0), 0, rate, 0, window);
+    inj.corrupt(*seg.cross_link, 0, rate, 0, window);
+    // Cross-link flap on every even segment: a 5%-of-window carrier cut.
+    if (s % 2 == 0)
+      inj.flap(*seg.cross_link, window * 3 / 10, window * 35 / 100);
+  }
+  // Two mid-chain router crashes (only at the full 1% chaos level): power
+  // fail at 40% of the window, power on at 50%, first install attempt
+  // fails, the jittered retry wins.
+  if (rate >= 0.01) {
+    sim::ReinstallPolicy policy;
+    policy.base_backoff = window / 20;
+    policy.max_backoff = window / 4;
+    policy.jitter_frac = 0.2;
+    policy.max_attempts = 6;
+    for (const std::size_t s : {1u, 5u}) {
+      const auto& routers = topo.segments[s].routers;
+      sim::CrashSpec spec;
+      spec.crash_at = window * 2 / 5;
+      spec.restart_at = window / 2;
+      spec.install_failures = 1;
+      spec.policy = policy;
+      inj.crash(*routers[routers.size() / 2], spec);
+    }
+  }
+}
+
+Row run_one(double rate, std::size_t threads, sim::TimeNs window) {
+  sim::RingTopoSpec spec;  // 8 segments x (5 routers + src + sink)
+  sim::Network net(kTopoSeed);
+  sim::RingTopo topo = build_ring_topology(net, spec);
+  net.set_domain_count(spec.segments);
+  net.seal_domains();
+
+  sim::FaultInjector inj(net, kFaultSeed);
+  build_schedule(inj, topo, rate, window);
+  inj.install();
+
+  std::vector<std::unique_ptr<apps::AppMux>> muxes;
+  std::vector<std::unique_ptr<apps::TrafGen>> gens;
+  std::vector<Digest> digs(spec.segments);
+  for (std::size_t s = 0; s < spec.segments; ++s) {
+    auto& seg = topo.segments[s];
+    muxes.push_back(std::make_unique<apps::AppMux>(*seg.sink));
+    muxes.back()->on_udp(
+        7001, [&dig = digs[s]](const net::Packet& pkt, const net::UdpHeader&,
+                               std::span<const std::uint8_t>,
+                               sim::TimeNs now) {
+          ++dig.delivered;
+          dig.mix(now);
+          dig.mix(pkt.seq);
+        });
+    apps::TrafGen::Config cfg;
+    cfg.spec.src = seg.src_addr;
+    cfg.spec.dst = seg.dst_addr;
+    cfg.spec.payload_size = 64;
+    cfg.spec.dst_port = 7001;
+    cfg.pps = kPerSegmentPps;
+    cfg.duration = window;
+    cfg.flow_label_spread = 16;
+    cfg.src_port_spread = 7;
+    gens.push_back(std::make_unique<apps::TrafGen>(*seg.src, cfg));
+    gens.back()->start();
+  }
+
+  sim::InvariantAuditor auditor;
+  for (const auto& g : gens)
+    auditor.add_source([&gen = *g] { return gen.attempted(); });
+  for (const auto& seg : topo.segments) {
+    auditor.add_node(*seg.src);
+    for (sim::Node* r : seg.routers) auditor.add_node(*r);
+    auditor.add_node(*seg.sink);
+  }
+  const std::vector<sim::Link*> links = collect_links(topo);
+  for (sim::Link* l : links) auditor.add_link(*l);
+
+  // Audit at quiescent points between run windows (no worker threads are
+  // mutating stats after run_parallel_until returns), then after a drain
+  // tail long enough for the re-installer's last event and every in-flight
+  // packet to land.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int chunk = 1; chunk <= 4; ++chunk) {
+    net.run_parallel_until(window * chunk / 4, threads);
+    auditor.audit(net.now());
+  }
+  net.run_parallel_until(window + window / 2 + 10 * sim::kMilli, threads);
+  auditor.audit(net.now(), /*final_drain=*/true);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.fault_rate = rate;
+  row.threads = threads;
+  Digest total;
+  for (const Digest& d : digs) {
+    total.delivered += d.delivered;
+    total.mix(d.fnv);
+    total.mix(d.delivered);
+  }
+  row.delivered = total.delivered;
+  row.digest = total.fnv;
+  for (const auto& g : gens) row.attempted += g->attempted();
+  for (const auto& seg : topo.segments) {
+    row.dropped += seg.src->stats().total_drops();
+    for (sim::Node* r : seg.routers) row.dropped += r->stats().total_drops();
+    row.dropped += seg.sink->stats().total_drops();
+  }
+  for (sim::Link* l : links)
+    for (int side = 0; side < 2; ++side) {
+      row.dropped += l->stats(side).drops + l->stats(side).drops_link_down;
+      row.corrupted += l->stats(side).corrupted;
+    }
+  row.violations = auditor.violations().size();
+  row.mailbox_spins = net.pdes_net().mailbox_overflow_spins();
+  row.goodput = row.attempted > 0
+                    ? static_cast<double>(row.delivered) /
+                          static_cast<double>(row.attempted)
+                    : 0;
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const std::string& v : auditor.violations())
+    std::fprintf(stderr, "VIOLATION (rate %.4f, %zu threads): %s\n", rate,
+                 threads, v.c_str());
+  return row;
+}
+
+struct ExhaustRow {
+  std::uint64_t attempted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops_no_buffer = 0;   // at the generator = at the node
+  std::uint64_t admission_fail = 0;    // BufferPool's own counter
+  std::size_t violations = 0;
+};
+
+// Serial (master-thread) exhaustion: a 10 Mbps bottleneck holds thousands
+// of buffers on the wire while the generator offers 50 kpps; a 64-buffer
+// cap must turn the overload into accounted source-side drops — never an
+// abort, never an alloc storm — and the ledger must still drain to zero.
+ExhaustRow run_exhaustion(sim::TimeNs window) {
+  sim::Network net(0xeba7);
+  sim::Node& src = net.add_node("xsrc");
+  sim::Node& dst = net.add_node("xdst");
+  const auto src_addr = net::Ipv6Addr::must_parse("fd77:1::1");
+  const auto dst_addr = net::Ipv6Addr::must_parse("fd77:1::2");
+  auto att = net.connect(src, src_addr, dst, dst_addr,
+                         10ull * 1000 * 1000, 10 * sim::kMicro);
+  src.ns().table(0).add_route(net::Prefix::parse("fd77:1::/64").value(),
+                              {net::Ipv6Addr{}, att.a_ifindex, 1});
+
+  apps::AppMux mux(dst);
+  std::uint64_t delivered = 0;
+  mux.on_udp(7001, [&delivered](const net::Packet&, const net::UdpHeader&,
+                                std::span<const std::uint8_t>, sim::TimeNs) {
+    ++delivered;
+  });
+
+  const net::BufferPool::Stats before = net::BufferPool::stats();
+  sim::FaultInjector inj(net, kFaultSeed);
+  inj.cap_buffer_pool(64);
+  inj.install();
+
+  apps::TrafGen::Config cfg;
+  cfg.spec.src = src_addr;
+  cfg.spec.dst = dst_addr;
+  cfg.spec.payload_size = 64;
+  cfg.spec.dst_port = 7001;
+  cfg.pps = 50000;
+  cfg.duration = window;
+  apps::TrafGen gen(src, cfg);
+  gen.start();
+
+  sim::InvariantAuditor auditor;
+  auditor.add_source([&gen] { return gen.attempted(); });
+  auditor.add_node(src);
+  auditor.add_node(dst);
+  auditor.add_link(*att.link);
+
+  net.run_until(window / 2);
+  auditor.audit(net.now());
+  // Drain tail: the 10 Mbps wire needs seconds to clear a deep backlog.
+  net.run_until(window + 5 * sim::kSecond);
+  auditor.audit(net.now(), /*final_drain=*/true);
+
+  ExhaustRow row;
+  row.attempted = gen.attempted();
+  row.delivered = delivered;
+  row.drops_no_buffer = gen.drops_no_buffer();
+  row.admission_fail =
+      net::BufferPool::stats().admission_fail - before.admission_fail;
+  row.violations = auditor.violations().size();
+  for (const std::string& v : auditor.violations())
+    std::fprintf(stderr, "VIOLATION (exhaustion): %s\n", v.c_str());
+
+  // Restore the unbounded default so nothing downstream inherits the cap.
+  net::BufferPool::set_max_buffers(0);
+  return row;
+}
+
+void emit_json(const std::vector<Row>& rows, const ExhaustRow& ex,
+               bool digest_match, std::size_t violations_total,
+               double goodput_at_1pct, sim::TimeNs window) {
+  FILE* f = std::fopen("BENCH_chaos.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"chaos_soak\",\n");
+  std::fprintf(f, "  \"scenario\": \"ring topology, 8 segments x 5 Xeon "
+                  "routers (56 nodes), %.0f kpps/segment; corruption + "
+                  "flaps + crashes swept over fault rate\",\n",
+               kPerSegmentPps / 1e3);
+  std::fprintf(f, "  \"window_ms\": %.1f,\n",
+               static_cast<double>(window) / 1e6);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"fault_rate\": %.4f, \"threads\": %zu, \"attempted\": %llu, "
+        "\"delivered\": %llu, \"dropped\": %llu, \"corrupted\": %llu, "
+        "\"digest\": \"0x%016llx\", \"violations\": %zu, "
+        "\"mailbox_spins\": %llu, \"goodput\": %.4f, \"wall_s\": %.4f}%s\n",
+        r.fault_rate, r.threads,
+        static_cast<unsigned long long>(r.attempted),
+        static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.corrupted),
+        static_cast<unsigned long long>(r.digest), r.violations,
+        static_cast<unsigned long long>(r.mailbox_spins), r.goodput,
+        r.wall_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"exhaustion\": {\"attempted\": %llu, \"delivered\": "
+                  "%llu, \"drops_no_buffer\": %llu, \"admission_fail\": "
+                  "%llu, \"violations\": %zu},\n",
+               static_cast<unsigned long long>(ex.attempted),
+               static_cast<unsigned long long>(ex.delivered),
+               static_cast<unsigned long long>(ex.drops_no_buffer),
+               static_cast<unsigned long long>(ex.admission_fail),
+               ex.violations);
+  std::fprintf(f, "  \"digest_match\": %d,\n", digest_match ? 1 : 0);
+  std::fprintf(f, "  \"violations_total\": %zu,\n", violations_total);
+  std::fprintf(f, "  \"goodput_at_1pct\": %.4f,\n", goodput_at_1pct);
+  std::fprintf(f, "  \"gate_goodput\": %.2f\n", kGoodputFloor);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json-only") == 0) json_only = true;
+  }
+  const sim::TimeNs window = (quick ? 20 : 250) * sim::kMilli;
+
+  if (!json_only)
+    print_header(
+        "Chaos soak: fault injection under load",
+        "determinism, conservation and goodput survive corruption, flaps, "
+        "crashes and exhaustion");
+
+  // Exhaustion runs FIRST: its gate reads the master thread's per-thread
+  // BufferPool accounting, which is only exact while this thread's acquires
+  // and releases pair up. The 8-thread digest runs below migrate buffers
+  // across threads (acquired on PDES workers, released by Network teardown
+  // here), skewing the counter for good.
+  const ExhaustRow ex = run_exhaustion(quick ? 20 * sim::kMilli
+                                             : 100 * sim::kMilli);
+
+  std::vector<Row> rows;
+  for (const double rate : {0.0, 0.001, 0.01})
+    for (const std::size_t threads : {1u, 8u})
+      rows.push_back(run_one(rate, threads, window));
+
+  // Digest gate: within each fault rate, every thread count must reproduce
+  // the same delivery digest (same (seed, schedule) -> same simulation).
+  bool digest_match = true;
+  for (const Row& r : rows)
+    for (const Row& o : rows)
+      if (r.fault_rate == o.fault_rate)
+        digest_match = digest_match && r.digest == o.digest &&
+                       r.delivered == o.delivered;
+
+  std::size_t violations_total = 0;
+  for (const Row& r : rows) violations_total += r.violations;
+  double goodput_at_1pct = 0;
+  for (const Row& r : rows)
+    if (r.fault_rate >= 0.01 && r.threads == 1) goodput_at_1pct = r.goodput;
+  violations_total += ex.violations;
+
+  emit_json(rows, ex, digest_match, violations_total, goodput_at_1pct,
+            window);
+
+  if (!json_only) {
+    std::printf("\n%10s %8s %10s %10s %10s %10s %20s %10s %8s\n",
+                "fault_rate", "threads", "attempted", "delivered", "dropped",
+                "corrupted", "digest", "goodput", "wall s");
+    for (const Row& r : rows)
+      std::printf("%10.4f %8zu %10llu %10llu %10llu %10llu   0x%016llx "
+                  "%10.4f %8.3f\n",
+                  r.fault_rate, r.threads,
+                  static_cast<unsigned long long>(r.attempted),
+                  static_cast<unsigned long long>(r.delivered),
+                  static_cast<unsigned long long>(r.dropped),
+                  static_cast<unsigned long long>(r.corrupted),
+                  static_cast<unsigned long long>(r.digest), r.goodput,
+                  r.wall_s);
+    std::printf("\nexhaustion: attempted %llu, delivered %llu, "
+                "drops_no_buffer %llu, admission_fail %llu\n",
+                static_cast<unsigned long long>(ex.attempted),
+                static_cast<unsigned long long>(ex.delivered),
+                static_cast<unsigned long long>(ex.drops_no_buffer),
+                static_cast<unsigned long long>(ex.admission_fail));
+  }
+
+  const bool exhaustion_ok = ex.drops_no_buffer > 0 &&
+                             ex.admission_fail >= ex.drops_no_buffer &&
+                             ex.delivered > 0;
+  const bool goodput_ok = goodput_at_1pct >= kGoodputFloor;
+  const bool ok = digest_match && violations_total == 0 && goodput_ok &&
+                  exhaustion_ok;
+  std::printf("wrote BENCH_chaos.json (digest_match = %d, violations = %zu, "
+              "goodput@1%% = %.4f, exhaustion_drops = %llu)\n",
+              digest_match ? 1 : 0, violations_total, goodput_at_1pct,
+              static_cast<unsigned long long>(ex.drops_no_buffer));
+  return ok ? 0 : 1;
+}

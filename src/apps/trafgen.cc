@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/buffer_pool.h"
 #include "util/byteorder.h"
 
 namespace srv6bpf::apps {
@@ -94,20 +95,29 @@ void TrafGen::tick() {
   const sim::TimeNs now = node_.loop().now();
   if (now >= stop_at_) return;
 
+  // BufferPool hard cap: when the pool refuses admission the packet that was
+  // due is dropped at the source (counted here and on the node), never
+  // allocated — a mempool running dry refuses skb allocation the same way.
+  auto admit = [this, now] {
+    if (net::BufferPool::try_admit()) return true;
+    ++drops_no_buffer_;
+    node_.note_nic_drop(sim::DropReason::kNoBuffer, now);
+    return false;
+  };
   const std::size_t burst =
       std::min(cfg_.burst > 0 ? cfg_.burst : 1, net::kMaxBurstPackets);
   if (burst == 1) {
-    node_.send(next_packet());
+    if (admit()) node_.send(next_packet());
     next_send_ += interval_ns_;
   } else {
     // Emit a whole burst at this tick and stretch the tick interval so the
     // average offered rate stays cfg_.pps.
     net::PacketBurst b;
     for (std::size_t k = 0; k < burst && next_send_ < stop_at_; ++k) {
-      b.push(next_packet());
+      if (admit()) b.push(next_packet());
       next_send_ += interval_ns_;
     }
-    node_.send_burst(std::move(b));
+    if (!b.empty()) node_.send_burst(std::move(b));
   }
   node_.loop().schedule_at(next_send_, [this] { tick(); });
 }

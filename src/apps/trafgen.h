@@ -67,6 +67,13 @@ class TrafGen {
 
   void start();
   std::uint64_t sent() const noexcept { return sent_; }
+  // Emissions refused by the BufferPool hard cap (net::BufferPool::
+  // set_max_buffers): the packet was due but no buffer could be admitted, so
+  // it was dropped at the source — also charged to the node as
+  // drops_no_buffer. attempted() is what the conservation ledger
+  // (sim::InvariantAuditor) counts as offered load.
+  std::uint64_t drops_no_buffer() const noexcept { return drops_no_buffer_; }
+  std::uint64_t attempted() const noexcept { return sent_ + drops_no_buffer_; }
 
  private:
   void tick();
@@ -84,6 +91,7 @@ class TrafGen {
   bool has_udp_ = false;
   sim::TimeNs stop_at_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t drops_no_buffer_ = 0;
   sim::TimeNs next_send_ = 0;
 };
 

@@ -43,6 +43,7 @@ inline constexpr std::uint64_t BPF_EXIST = 2;    // update only
 inline constexpr int kOk = 0;
 inline constexpr int kErrNoEnt = -2;    // -ENOENT
 inline constexpr int kErrInval = -22;   // -EINVAL
+inline constexpr int kErrNoMem = -12;   // -ENOMEM (injected allocation failure)
 inline constexpr int kErrExist = -17;   // -EEXIST
 inline constexpr int kErrNoSpace = -28; // -ENOSPC
 inline constexpr int kErrFault = -14;   // -EFAULT
@@ -81,9 +82,18 @@ class Map {
   // Copies `value` in, honouring BPF_ANY/BPF_NOEXIST/BPF_EXIST. Returns 0 or
   // a negative errno (kErr*). Existing entries are updated in place, so
   // previously returned lookup pointers observe the new bytes.
-  virtual int update(std::span<const std::uint8_t> key,
-                     std::span<const std::uint8_t> value,
-                     std::uint64_t flags) = 0;
+  //
+  // Non-virtual wrapper: consumes one armed fault (arm_update_fault) before
+  // reaching the type's do_update, so every program- and user-space update
+  // path sees injected -ENOMEM-style failures uniformly. Programs that
+  // ignore a failed update simply lose the write (a dropped counter bump,
+  // a stale cache entry) — the graceful-degradation surface the fault
+  // injector probes.
+  int update(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> value, std::uint64_t flags) {
+    if (const int err = take_fault()) return err;
+    return do_update(key, value, flags);
+  }
 
   // Returns 0 or -ENOENT (-EINVAL for arrays, whose entries cannot die).
   virtual int erase(std::span<const std::uint8_t> key) = 0;
@@ -102,13 +112,36 @@ class Map {
     (void)cpu;
     return lookup(key);
   }
-  virtual int update_cpu(std::span<const std::uint8_t> key,
-                         std::span<const std::uint8_t> value,
-                         std::uint64_t flags, std::uint32_t cpu) {
-    (void)cpu;
-    return update(key, value, flags);
+  // Same fault-consuming wrapper as update(); the per-CPU write path shares
+  // the armed-fault budget, matching the kernel where both syscalls hit the
+  // same allocator.
+  int update_cpu(std::span<const std::uint8_t> key,
+                 std::span<const std::uint8_t> value, std::uint64_t flags,
+                 std::uint32_t cpu) {
+    if (const int err = take_fault()) return err;
+    return do_update_cpu(key, value, flags, cpu);
   }
   virtual bool per_cpu() const noexcept { return false; }
+
+  // ---- Fault injection & crash teardown -------------------------------------
+  // Arms the next `count` updates (update/update_cpu, any caller) to fail
+  // with `err` (typically kErrNoMem) without touching the map. Count-based
+  // rather than probabilistic so a (seed, schedule) pair replays exactly.
+  void arm_update_fault(std::uint64_t count, int err = kErrNoMem) noexcept {
+    armed_faults_ = count;
+    fault_err_ = err;
+  }
+  std::uint64_t armed_update_faults() const noexcept { return armed_faults_; }
+  // Injected-failure count since construction (observability for tests and
+  // the chaos soak's accounting).
+  std::uint64_t update_faults_hit() const noexcept { return faults_hit_; }
+
+  // Drops every entry's *contents* while keeping the definition — what a
+  // node crash does to pinned-map state in this model (the map object, like
+  // the program text, represents on-disk artefacts that survive; the
+  // contents are kernel memory that does not). Default: no-op for types
+  // with no wipeable state.
+  virtual void reset_contents() {}
 
   // User-space-style summed read of a u64 counter: adds the value across all
   // possible CPUs for per-CPU maps (the bpf_map_lookup_elem-from-userspace
@@ -145,6 +178,18 @@ class Map {
   }
 
  protected:
+  // Type-specific write paths, reached only through the fault-consuming
+  // wrappers above.
+  virtual int do_update(std::span<const std::uint8_t> key,
+                        std::span<const std::uint8_t> value,
+                        std::uint64_t flags) = 0;
+  virtual int do_update_cpu(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> value,
+                            std::uint64_t flags, std::uint32_t cpu) {
+    (void)cpu;
+    return do_update(key, value, flags);
+  }
+
   bool key_ok(std::span<const std::uint8_t> key) const noexcept {
     return key.size() == def_.key_size;
   }
@@ -153,7 +198,17 @@ class Map {
   }
 
  private:
+  int take_fault() noexcept {
+    if (armed_faults_ == 0) return kOk;
+    --armed_faults_;
+    ++faults_hit_;
+    return fault_err_;
+  }
+
   MapDef def_;
+  std::uint64_t armed_faults_ = 0;
+  std::uint64_t faults_hit_ = 0;
+  int fault_err_ = kErrNoMem;
 };
 
 std::unique_ptr<Map> make_map(const MapDef& def);

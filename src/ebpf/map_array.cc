@@ -17,9 +17,9 @@ std::uint8_t* ArrayMap::lookup(std::span<const std::uint8_t> key) {
   return slot(index);
 }
 
-int ArrayMap::update(std::span<const std::uint8_t> key,
-                     std::span<const std::uint8_t> value,
-                     std::uint64_t flags) {
+int ArrayMap::do_update(std::span<const std::uint8_t> key,
+                        std::span<const std::uint8_t> value,
+                        std::uint64_t flags) {
   if (!key_ok(key) || !value_ok(value)) return kErrInval;
   // Array entries always exist, so BPF_NOEXIST can never succeed.
   if (flags == BPF_NOEXIST) return kErrExist;

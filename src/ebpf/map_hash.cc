@@ -10,8 +10,9 @@ std::uint8_t* HashMap::lookup(std::span<const std::uint8_t> key) {
   return it == entries_.end() ? nullptr : it->second.get();
 }
 
-int HashMap::update(std::span<const std::uint8_t> key,
-                    std::span<const std::uint8_t> value, std::uint64_t flags) {
+int HashMap::do_update(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> value,
+                       std::uint64_t flags) {
   if (!key_ok(key) || !value_ok(value)) return kErrInval;
   if (flags > BPF_EXIST) return kErrInval;
   std::vector<std::uint8_t> k(key.begin(), key.end());

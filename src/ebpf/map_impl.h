@@ -22,10 +22,16 @@ class ArrayMap final : public Map {
   explicit ArrayMap(const MapDef& def);
 
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
-  int update(std::span<const std::uint8_t> key,
-             std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
   std::size_t size() const override { return max_entries(); }
+  void reset_contents() override {
+    storage_.assign(storage_.size(), 0);  // preallocated entries zero out
+  }
+
+ protected:
+  int do_update(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value,
+                std::uint64_t flags) override;
 
  private:
   std::uint8_t* slot(std::uint32_t index) noexcept {
@@ -42,13 +48,17 @@ class HashMap final : public Map {
   explicit HashMap(const MapDef& def) : Map(def) {}
 
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
-  int update(std::span<const std::uint8_t> key,
-             std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
   std::size_t size() const override { return entries_.size(); }
+  void reset_contents() override { entries_.clear(); }
 
   // Iteration support for user-space dumps (bpf_map_get_next_key analogue).
   std::vector<std::vector<std::uint8_t>> keys() const;
+
+ protected:
+  int do_update(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value,
+                std::uint64_t flags) override;
 
  private:
   // std::map keeps deterministic iteration order for reproducible dumps.
@@ -66,17 +76,21 @@ class PerCpuArrayMap final : public Map {
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override {
     return lookup_cpu(key, 0);
   }
-  int update(std::span<const std::uint8_t> key,
-             std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
   std::size_t size() const override { return max_entries(); }
+  void reset_contents() override { storage_.assign(storage_.size(), 0); }
 
   std::uint8_t* lookup_cpu(std::span<const std::uint8_t> key,
                            std::uint32_t cpu) override;
-  int update_cpu(std::span<const std::uint8_t> key,
-                 std::span<const std::uint8_t> value, std::uint64_t flags,
-                 std::uint32_t cpu) override;
   bool per_cpu() const noexcept override { return true; }
+
+ protected:
+  int do_update(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value,
+                std::uint64_t flags) override;
+  int do_update_cpu(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> value, std::uint64_t flags,
+                    std::uint32_t cpu) override;
 
  private:
   std::uint8_t* slot(std::uint32_t cpu, std::uint32_t index) noexcept {
@@ -96,17 +110,21 @@ class PerCpuHashMap final : public Map {
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override {
     return lookup_cpu(key, 0);
   }
-  int update(std::span<const std::uint8_t> key,
-             std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
   std::size_t size() const override { return entries_.size(); }
+  void reset_contents() override { entries_.clear(); }
 
   std::uint8_t* lookup_cpu(std::span<const std::uint8_t> key,
                            std::uint32_t cpu) override;
-  int update_cpu(std::span<const std::uint8_t> key,
-                 std::span<const std::uint8_t> value, std::uint64_t flags,
-                 std::uint32_t cpu) override;
   bool per_cpu() const noexcept override { return true; }
+
+ protected:
+  int do_update(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value,
+                std::uint64_t flags) override;
+  int do_update_cpu(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> value, std::uint64_t flags,
+                    std::uint32_t cpu) override;
 
  private:
   // flags validation + entry creation shared by the two update paths; on
@@ -133,10 +151,14 @@ class LpmTrieMap final : public Map {
         trie_(def.key_size - 4) {}
 
   std::uint8_t* lookup(std::span<const std::uint8_t> key) override;
-  int update(std::span<const std::uint8_t> key,
-             std::span<const std::uint8_t> value, std::uint64_t flags) override;
   int erase(std::span<const std::uint8_t> key) override;
   std::size_t size() const override { return trie_.size(); }
+  void reset_contents() override { trie_.clear(); }
+
+ protected:
+  int do_update(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> value,
+                std::uint64_t flags) override;
 
  private:
   std::uint32_t max_prefixlen_;

@@ -13,9 +13,9 @@ std::uint8_t* LpmTrieMap::lookup(std::span<const std::uint8_t> key) {
   return v ? v->get() : nullptr;
 }
 
-int LpmTrieMap::update(std::span<const std::uint8_t> key,
-                       std::span<const std::uint8_t> value,
-                       std::uint64_t flags) {
+int LpmTrieMap::do_update(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> value,
+                          std::uint64_t flags) {
   if (!key_ok(key) || !value_ok(value)) return kErrInval;
   if (flags > BPF_EXIST) return kErrInval;
   const std::uint32_t prefixlen = load_unaligned<std::uint32_t>(key.data());

@@ -43,9 +43,9 @@ std::uint8_t* PerCpuArrayMap::lookup_cpu(std::span<const std::uint8_t> key,
   return slot(cpu, index);
 }
 
-int PerCpuArrayMap::update(std::span<const std::uint8_t> key,
-                           std::span<const std::uint8_t> value,
-                           std::uint64_t flags) {
+int PerCpuArrayMap::do_update(std::span<const std::uint8_t> key,
+                              std::span<const std::uint8_t> value,
+                              std::uint64_t flags) {
   if (!key_ok(key) || !value_ok(value)) return kErrInval;
   if (flags == BPF_NOEXIST) return kErrExist;  // array entries always exist
   if (flags > BPF_EXIST) return kErrInval;
@@ -56,9 +56,9 @@ int PerCpuArrayMap::update(std::span<const std::uint8_t> key,
   return kOk;
 }
 
-int PerCpuArrayMap::update_cpu(std::span<const std::uint8_t> key,
-                               std::span<const std::uint8_t> value,
-                               std::uint64_t flags, std::uint32_t cpu) {
+int PerCpuArrayMap::do_update_cpu(std::span<const std::uint8_t> key,
+                                  std::span<const std::uint8_t> value,
+                                  std::uint64_t flags, std::uint32_t cpu) {
   if (!key_ok(key) || !value_ok(value) || cpu >= kMaxCpus) return kErrInval;
   if (flags == BPF_NOEXIST) return kErrExist;
   if (flags > BPF_EXIST) return kErrInval;
@@ -113,9 +113,9 @@ std::uint8_t* PerCpuHashMap::upsert(std::span<const std::uint8_t> key,
   return raw;
 }
 
-int PerCpuHashMap::update(std::span<const std::uint8_t> key,
-                          std::span<const std::uint8_t> value,
-                          std::uint64_t flags) {
+int PerCpuHashMap::do_update(std::span<const std::uint8_t> key,
+                             std::span<const std::uint8_t> value,
+                             std::uint64_t flags) {
   if (!key_ok(key) || !value_ok(value)) return kErrInval;
   int rc = kOk;
   std::uint8_t* buf = upsert(key, flags, rc);
@@ -126,9 +126,9 @@ int PerCpuHashMap::update(std::span<const std::uint8_t> key,
   return kOk;
 }
 
-int PerCpuHashMap::update_cpu(std::span<const std::uint8_t> key,
-                              std::span<const std::uint8_t> value,
-                              std::uint64_t flags, std::uint32_t cpu) {
+int PerCpuHashMap::do_update_cpu(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> value,
+                                 std::uint64_t flags, std::uint32_t cpu) {
   if (!key_ok(key) || !value_ok(value) || cpu >= kMaxCpus) return kErrInval;
   int rc = kOk;
   std::uint8_t* buf = upsert(key, flags, rc);

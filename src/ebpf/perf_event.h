@@ -53,6 +53,12 @@ class PerfEventBuffer {
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t produced() const noexcept { return produced_; }
 
+  // Discards every pending record (node-crash teardown); the drop/produce
+  // counters survive — they are the observer's ledger, not kernel memory.
+  void clear() noexcept {
+    for (auto& r : rings_) r.clear();
+  }
+
  private:
   std::size_t capacity_;  // per-CPU ring capacity
   std::vector<std::deque<PerfRecord>> rings_;  // indexed by cpu, lazily grown
@@ -69,14 +75,19 @@ class PerfEventArrayMap final : public Map {
       : Map(def), buffer_(capacity) {}
 
   std::uint8_t* lookup(std::span<const std::uint8_t>) override { return nullptr; }
-  int update(std::span<const std::uint8_t>, std::span<const std::uint8_t>,
-             std::uint64_t) override {
-    return kErrInval;
-  }
   int erase(std::span<const std::uint8_t>) override { return kErrInval; }
   std::size_t size() const override { return buffer_.pending(); }
+  // A crash loses pending (undelivered) perf records with the rest of
+  // kernel memory.
+  void reset_contents() override { buffer_.clear(); }
 
   PerfEventBuffer& buffer() noexcept { return buffer_; }
+
+ protected:
+  int do_update(std::span<const std::uint8_t>, std::span<const std::uint8_t>,
+                std::uint64_t) override {
+    return kErrInval;
+  }
 
  private:
   PerfEventBuffer buffer_;

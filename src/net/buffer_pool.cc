@@ -11,6 +11,7 @@ namespace {
 struct BufferPoolState {
   BufferPool::Buf* free_head = nullptr;
   bool enabled = true;
+  std::uint64_t max_buffers = 0;  // 0 = unbounded (historical behaviour)
   BufferPool::Stats stats;
 
   ~BufferPoolState() {
@@ -84,7 +85,12 @@ BufferPool::Buf* BufferPool::acquire(std::size_t min_cap) {
 void BufferPool::release(Buf* b) noexcept {
   if (b == nullptr) return;
   BufferPoolState& s = buf_state();
-  --s.stats.outstanding;
+  // Saturate: a buffer acquired on one thread may be released on another
+  // (PDES teardown runs on the master thread), and wrapping this thread's
+  // outstanding count to 2^64 would jam try_admit() shut forever. The
+  // counter is only exact on threads whose acquires and releases pair up —
+  // which the serial exhaustion scenarios guarantee by running first.
+  if (s.stats.outstanding > 0) --s.stats.outstanding;
   if (s.enabled && b->cap == kPoolBufCap) {
     b->next = s.free_head;
     s.free_head = b;
@@ -98,12 +104,30 @@ void BufferPool::set_enabled(bool on) noexcept { buf_state().enabled = on; }
 
 bool BufferPool::enabled() noexcept { return buf_state().enabled; }
 
+void BufferPool::set_max_buffers(std::uint64_t n) noexcept {
+  buf_state().max_buffers = n;
+}
+
+std::uint64_t BufferPool::max_buffers() noexcept {
+  return buf_state().max_buffers;
+}
+
+bool BufferPool::try_admit() noexcept {
+  BufferPoolState& s = buf_state();
+  if (s.max_buffers != 0 && s.stats.outstanding >= s.max_buffers) {
+    ++s.stats.admission_fail;
+    return false;
+  }
+  return true;
+}
+
 BufferPool::Stats BufferPool::stats() noexcept { return buf_state().stats; }
 
 void BufferPool::reset_stats() noexcept {
   BufferPoolState& s = buf_state();
   s.stats.allocs = 0;
   s.stats.reuses = 0;
+  s.stats.admission_fail = 0;
   s.stats.high_water = s.stats.outstanding;
 }
 

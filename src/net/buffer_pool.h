@@ -54,6 +54,7 @@ class BufferPool {
     std::uint64_t outstanding = 0;  // buffers currently owned by Packets
     std::uint64_t high_water = 0;   // max outstanding since reset_stats()
     std::uint64_t pooled = 0;       // buffers parked on the freelist now
+    std::uint64_t admission_fail = 0;  // admissions refused by the hard cap
   };
 
   // Returns a buffer with cap >= min_cap. min_cap <= kPoolBufCap reuses the
@@ -68,6 +69,22 @@ class BufferPool {
   // new/delete per acquire/release: the bench baseline.
   static void set_enabled(bool on) noexcept;
   static bool enabled() noexcept;
+
+  // ---- Hard cap (graceful degradation under exhaustion) ---------------------
+  // Bounds outstanding buffers on this thread's pool: 0 (the default) keeps
+  // the historical unbounded-growth behaviour; a non-zero cap turns packet
+  // *admission* fallible, like a real mempool running dry. The cap is an
+  // admission gate, not a mid-pipeline failure: callers that create new
+  // packets (traffic generators, copies) must check try_admit() and drop —
+  // accounted as sim::DropReason::kNoBuffer — instead of acquiring; plain
+  // acquire() stays infallible so in-flight packets that regrow headroom
+  // never abort. The pool is thread_local, so caps are per host thread; the
+  // deterministic exhaustion gates run on the serial (master-thread) path.
+  static void set_max_buffers(std::uint64_t n) noexcept;
+  static std::uint64_t max_buffers() noexcept;
+  // True (and the admission accepted) when under the cap; false counts an
+  // admission_fail. With no cap set this always succeeds.
+  static bool try_admit() noexcept;
 
   static Stats stats() noexcept;
   // Zeroes allocs/reuses and re-bases high_water on current outstanding.

@@ -95,6 +95,10 @@ class Netns {
   // Routing table by id (created on demand). Table 0 is "main".
   Fib& table(int id = 0);
   const Fib* find_table(int id) const;
+  // Every table (id -> Fib), ordered by id: crash teardown wipes them all,
+  // and the control-plane re-installer snapshots route config across them.
+  std::map<int, Fib>& tables() noexcept { return tables_; }
+  const std::map<int, Fib>& tables() const noexcept { return tables_; }
   Seg6LocalTable& seg6local() noexcept { return *seg6local_; }
 
   void add_local_addr(const net::Ipv6Addr& a) { local_addrs_.insert(a); }

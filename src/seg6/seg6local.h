@@ -57,6 +57,14 @@ class Seg6LocalTable {
     return it == entries_.end() ? nullptr : &it->second;
   }
   std::size_t size() const noexcept { return entries_.size(); }
+  // Drops every SID binding (node crash teardown; the re-installer puts the
+  // snapshotted bindings back).
+  void clear() { entries_.clear(); }
+  // Snapshot access for the control-plane re-installer.
+  const std::unordered_map<net::Ipv6Addr, Seg6LocalEntry, net::Ipv6AddrHash>&
+  entries() const noexcept {
+    return entries_;
+  }
 
  private:
   std::unordered_map<net::Ipv6Addr, Seg6LocalEntry, net::Ipv6AddrHash>

@@ -1,0 +1,46 @@
+#include "sim/invariant_auditor.h"
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+
+namespace srv6bpf::sim {
+
+InvariantAuditor::Ledger InvariantAuditor::ledger() const {
+  Ledger l;
+  for (const auto& attempted : sources_) l.offered += attempted();
+  for (const Node* n : nodes_) {
+    const NodeStats s = n->stats();
+    l.offered += s.icmp_time_exceeded_sent;
+    l.consumed += s.local_delivered + s.total_drops();
+  }
+  for (const Link* lk : links_)
+    for (int side = 0; side < 2; ++side) {
+      const Link::SideStats& s = lk->stats(side);
+      l.consumed += s.drops + s.drops_link_down;
+    }
+  l.in_flight = static_cast<std::int64_t>(l.offered) -
+                static_cast<std::int64_t>(l.consumed);
+  return l;
+}
+
+void InvariantAuditor::audit(TimeNs now, bool final_drain) {
+  const Ledger l = ledger();
+  if (l.in_flight < 0)
+    violations_.push_back(
+        "conservation: consumed " + std::to_string(l.consumed) +
+        " exceeds offered " + std::to_string(l.offered) + " at t=" +
+        std::to_string(now));
+  if (final_drain && l.in_flight > 0)
+    violations_.push_back(
+        "drain: " + std::to_string(l.in_flight) +
+        " packets unaccounted for after drain at t=" + std::to_string(now));
+  if (audits_ > 0 && now <= last_now_)
+    violations_.push_back("clock: no progress between audits (t=" +
+                          std::to_string(now) + " after t=" +
+                          std::to_string(last_now_) + ")");
+  last_now_ = now;
+  ++audits_;
+}
+
+}  // namespace srv6bpf::sim

@@ -82,6 +82,18 @@ void Link::transmit_burst(net::PacketBurst&& burst, int from_side) {
 
     ++tx.stats.tx_packets;
     tx.stats.tx_bytes += wire_bytes;
+
+    // Fault model: one random bit flips in flight with corrupt_prob while
+    // the corruption window covers the packet's enqueue instant. Drawn once
+    // per surviving packet from the side's dedicated stream.
+    if (tx.corrupt_prob > 0.0 && t >= tx.corrupt_from && t < tx.corrupt_to &&
+        pkt.size() > 0 && tx.corrupt_rng.chance(tx.corrupt_prob)) {
+      const std::uint64_t bit = tx.corrupt_rng.uniform(
+          0, static_cast<std::uint64_t>(pkt.size()) * 8 - 1);
+      pkt.data()[bit >> 3] ^=
+          static_cast<std::uint8_t>(1u << (bit & 7));
+      ++tx.stats.corrupted;
+    }
     out.push(std::move(pkt), arrival);
   }
   if (out.empty()) return;

@@ -72,6 +72,24 @@ class Link {
   bool side_up(int side) const noexcept { return side_up_[side]; }
   void set_side_up(int side, bool up) noexcept { side_up_[side] = up; }
 
+  // Bit-corruption fault model (sim/fault_injector.h): while the wall-clock
+  // window [from_ns, to_ns) is active, each packet surviving `side`'s egress
+  // qdisc/wire stage is independently corrupted with probability `prob` —
+  // one uniformly random bit flips (electrical noise on a marginal optic).
+  // Draws come from a dedicated per-side stream seeded here, so arming
+  // corruption never perturbs the netem stream and existing scenarios
+  // replay bit-identically. Corrupted packets still ship — the receiving
+  // stack finds the damage (malformed header drop, misrouted prefix, ...)
+  // and every outcome stays inside the conservation ledger.
+  void set_side_corruption(int side, double prob, TimeNs from_ns, TimeNs to_ns,
+                           std::uint64_t seed) {
+    Side& s = sides_[side];
+    s.corrupt_prob = prob;
+    s.corrupt_from = from_ns;
+    s.corrupt_to = to_ns;
+    s.corrupt_rng = Rng(seed);
+  }
+
   // ---- PDES surface (sim/pdes_domain.h) ----
   Node* side_node(int side) const noexcept { return sides_[side].node; }
   EventLoop& side_loop(int side) noexcept { return *sides_[side].loop; }
@@ -91,6 +109,7 @@ class Link {
     std::uint64_t tx_bytes = 0;
     std::uint64_t drops = 0;  // egress queue overflow (wire or netem loss)
     std::uint64_t drops_link_down = 0;  // transmit attempted while down
+    std::uint64_t corrupted = 0;  // bit-flips injected (packet still shipped)
   };
   const SideStats& stats(int side) const { return sides_[side].stats; }
 
@@ -104,6 +123,12 @@ class Link {
     EventLoop* loop = nullptr;       // this side's scheduling domain
     Rng* rng = nullptr;              // this side's netem stream
     PdesMailbox* crossing = nullptr; // outbound ring when the peer is remote
+    // Corruption fault model (set_side_corruption). The stream is owned per
+    // side: the side's domain is the only thread drawing from it.
+    double corrupt_prob = 0.0;
+    TimeNs corrupt_from = 0;
+    TimeNs corrupt_to = 0;
+    Rng corrupt_rng{0};
   };
 
   std::uint64_t bandwidth_bps_;

@@ -65,6 +65,44 @@ NodeStats Node::stats() const {
   return total;
 }
 
+std::uint64_t Node::rx_ring_overflows() const noexcept {
+  std::uint64_t total = 0;
+  for (const Iface& iface : ifaces_)
+    for (const RxRing& ring : iface.rx_rings) total += ring.overflows();
+  return total;
+}
+
+void Node::crash() {
+  down_ = true;
+  const TimeNs now = loop_->now();
+  // Queued packets die with the node — flushed and counted, so every loss
+  // stays attributed (the InvariantAuditor's ledger must balance).
+  for (Iface& iface : ifaces_)
+    for (RxRing& ring : iface.rx_rings)
+      ring.flush([this](net::Packet&& p) {
+        nic_stats_.note_drop(DropReason::kNodeDown, p.rx_tstamp_ns);
+      });
+  // Execution contexts reset: a crashed core's backlog and busy clock are
+  // gone. A service event already in flight for a context is harmless — it
+  // finds its rings empty and exits (and while down nothing can enqueue).
+  for (CpuContext& ctx : ctxs_) {
+    ctx.busy_until = now;
+    ctx.servicing = false;
+    ctx.rr_iface = 0;
+  }
+  // Soft state dies with the power: routes, SID bindings, eBPF map
+  // contents. Map definitions and loaded programs survive (they are "on
+  // disk"); clear() bumps each Fib's generation so every per-context cache
+  // slot self-invalidates.
+  for (auto& entry : ns_.tables()) entry.second.clear();
+  ns_.seg6local().clear();
+  ebpf::MapRegistry& maps = ns_.bpf().maps();
+  for (std::uint32_t id = 1; id <= maps.count(); ++id)
+    if (ebpf::Map* m = maps.get(id)) m->reset_contents();
+}
+
+void Node::restart() { down_ = false; }
+
 const NodeStats& Node::cpu_stats(std::size_t k) const {
   if (k >= ctxs_.size())
     throw std::out_of_range("cpu_stats: no context " + std::to_string(k) +
@@ -103,11 +141,21 @@ std::size_t Node::steer(const net::Packet& pkt) const {
 
 void Node::enqueue_rx(net::Packet&& pkt, int ifindex) {
   CpuContext& ctx = contexts()[steer(pkt)];
-  Iface& iface = ifaces_[static_cast<std::size_t>(ifindex)];
-  if (!iface.rx_rings[ctx.id].push(std::move(pkt), cpu.rx_queue_limit)) {
-    // Stamped with the packet's own wire arrival (not the coalesced event
-    // clock) so first-drop timestamps stay burst-invariant.
-    nic_stats_.note_drop(DropReason::kRxQueue, pkt.rx_tstamp_ns);
+  RxRing& ring =
+      ifaces_[static_cast<std::size_t>(ifindex)].rx_rings[ctx.id];
+  if (cpu.rx_overflow_policy == RxOverflowPolicy::kDropOldest &&
+      ring.size() >= cpu.rx_queue_limit && !ring.empty()) {
+    // Head drop: evict the oldest queued packet to admit the arrival. The
+    // evictee is the counted drop, stamped with its own wire arrival.
+    nic_stats_.note_drop(DropReason::kRxQueue,
+                         ring.evict_oldest().rx_tstamp_ns);
+  }
+  // Drop timestamps use the packet's own wire arrival (not the coalesced
+  // event clock) so first-drop times stay burst-invariant — captured before
+  // the push consumes the packet.
+  const TimeNs arrival = pkt.rx_tstamp_ns;
+  if (!ring.push(std::move(pkt), cpu.rx_queue_limit)) {
+    nic_stats_.note_drop(DropReason::kRxQueue, arrival);
     return;
   }
   maybe_schedule_service(ctx);
@@ -120,6 +168,15 @@ void Node::receive_from_link(net::Packet&& pkt, int ifindex) {
 }
 
 void Node::receive_burst_from_link(net::PacketBurst&& burst, int ifindex) {
+  if (down_) {
+    // Crashed: the NIC still "sees" the bits but there is no stack to hand
+    // them to. Counted per packet so the conservation ledger balances.
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      ++nic_stats_.rx_packets;
+      nic_stats_.note_drop(DropReason::kNodeDown, burst.meta(i).at_ns);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < burst.size(); ++i) {
     ++nic_stats_.rx_packets;
     net::Packet& p = burst.pkt(i);
@@ -203,6 +260,10 @@ void Node::service_burst(CpuContext& ctx) {
 }
 
 void Node::send(net::Packet&& pkt) {
+  if (down_) {
+    nic_stats_.note_drop(DropReason::kNodeDown, loop_->now());
+    return;
+  }
   pkt.dst() = net::DstEntry{};
   net::PacketBurst b;
   b.push(std::move(pkt));
@@ -210,6 +271,11 @@ void Node::send(net::Packet&& pkt) {
 }
 
 void Node::send_burst(net::PacketBurst&& burst) {
+  if (down_) {
+    for (std::size_t i = 0; i < burst.size(); ++i)
+      nic_stats_.note_drop(DropReason::kNodeDown, loop_->now());
+    return;
+  }
   for (std::size_t i = 0; i < burst.size(); ++i)
     burst.pkt(i).dst() = net::DstEntry{};
   process_and_dispatch(burst, /*local_out=*/true);

@@ -73,6 +73,14 @@ class Node {
   std::size_t interface_count() const noexcept { return ifaces_.size(); }
   // Throws std::out_of_range on a bad ifindex.
   const net::Ipv6Addr& interface_addr(int ifindex) const;
+  // The link attached at `ifindex`, or nullptr for a bad index. The fault
+  // injector walks a crashing node's adjacencies with this to cut carrier on
+  // every attached link (one event per side replica, in that side's domain).
+  Link* interface_link(int ifindex) const noexcept {
+    if (ifindex < 0 || static_cast<std::size_t>(ifindex) >= ifaces_.size())
+      return nullptr;
+    return ifaces_[static_cast<std::size_t>(ifindex)].link;
+  }
   // True when `oif` names a valid interface whose attached link is down —
   // the condition that triggers a route's fast-reroute backup in the
   // datapath and the drops_link_down counter at dispatch. Reads this side's
@@ -91,6 +99,11 @@ class Node {
     bool enabled = false;  // hosts: off; routers under test: on
     CpuProfile profile = kXeonProfile;
     std::size_t rx_queue_limit = 512;  // per (interface, context) RX ring
+    // What happens to an arrival when its RX ring is full: refuse it (tail
+    // drop, the default and historical behaviour) or evict the oldest
+    // queued packet to admit it (head drop). Either way the losing packet
+    // is charged to drops_rx_queue and the ring counts the overflow.
+    RxOverflowPolicy rx_overflow_policy = RxOverflowPolicy::kDropNewest;
     // Packets drained per service event (the NAPI poll budget); capped at
     // net::kMaxBurstPackets. Trades simulator efficiency against delivery
     // coalescing granularity; charged costs and counts are burst-invariant.
@@ -132,10 +145,39 @@ class Node {
     local_handler_ = std::move(handler);
   }
 
+  // ---- crash / restart (fault injection; sim/fault_injector.h) ----
+  // Models a power-fail crash at the current instant: every RX ring flushes
+  // (each queued packet counted as drops_node_down), per-CPU contexts reset
+  // (busy clocks, service flags, drain cursors), and the soft state dies —
+  // FIB tables, seg6local SID bindings and eBPF map *contents* are wiped
+  // (program text, map definitions and interface config survive, like
+  // binaries on disk). Until restart() the node blackholes: arrivals and
+  // local sends drop with drops_node_down. Link carrier is not touched
+  // here — under PDES each side's replica must flip in its own domain, so
+  // that is the FaultInjector's job.
+  void crash();
+  // Power back on: the node forwards again, but with a cold (empty) FIB
+  // until the control-plane re-installer repopulates it — meanwhile traffic
+  // drops with no_route here and neighbors degrade to their seg6::FrrBackup
+  // paths.
+  void restart();
+  bool is_down() const noexcept { return down_; }
+
+  // NIC/IRQ-side drop charge from outside the datapath (traffic generators
+  // refused admission by the BufferPool cap, fault machinery): lands in the
+  // pre-steering stats shard so Node::stats() and the conservation ledger
+  // see it.
+  void note_nic_drop(DropReason reason, TimeNs at_ns) {
+    nic_stats_.note_drop(reason, at_ns);
+  }
+
   // ---- stats ----
   // Aggregated view: NIC/IRQ-side counters plus the sum of every context's
   // shard. The per-context breakdown is cpu_stats(k).
   NodeStats stats() const;
+  // Overflow events summed over every (interface, context) RX ring — the
+  // counted face of the Cpu::rx_overflow_policy.
+  std::uint64_t rx_ring_overflows() const noexcept;
   std::size_t context_count() const noexcept { return ctxs_.size(); }
   // Shard of context `k`; throws std::out_of_range past context_count().
   const NodeStats& cpu_stats(std::size_t k) const;
@@ -194,6 +236,7 @@ class Node {
 
   std::vector<CpuContext> ctxs_;
   CpuContext* cur_ctx_ = nullptr;
+  bool down_ = false;  // crashed (crash()) and not yet restart()ed
   // NIC/IRQ-side counters charged before RSS steering picks a context
   // (rx_packets, ring-overflow drops).
   NodeStats nic_stats_;

@@ -212,4 +212,11 @@ std::uint64_t PdesNet::events_executed() const {
   return total;
 }
 
+std::uint64_t PdesNet::mailbox_overflow_spins() const {
+  std::uint64_t total = 0;
+  for (const auto& box : mailboxes_)
+    if (box) total += box->overflow_spins();
+  return total;
+}
+
 }  // namespace srv6bpf::sim

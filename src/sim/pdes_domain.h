@@ -100,6 +100,11 @@ class PdesNet {
   EventLoop& domain_loop(std::uint32_t dom) { return *domains_[dom]->loop; }
   // Total events executed across all domain loops.
   std::uint64_t events_executed() const;
+  // Total full-ring encounters across every cross-domain mailbox: the
+  // counted face of the backpressure overflow policy (PdesMailbox::push
+  // spins, never drops). Non-zero means a ring is undersized for the
+  // traffic — a wall-clock problem, never a correctness one.
+  std::uint64_t mailbox_overflow_spins() const;
 
   // The default static partition: FNV-1a over the node name, mod P.
   static std::uint32_t hash_name(const std::string& name, std::size_t p);

@@ -62,8 +62,20 @@ class PdesMailbox {
   }
 
   // Producer side; spins until space (see the deadlock-freedom note above).
+  // Overflow is an explicit *counted backpressure* policy, never a drop:
+  // conservative PDES cannot lose a cross-domain message (the receiver's
+  // LBTS already promised it will see everything below the horizon, and a
+  // dropped delivery would silently break packet conservation and the
+  // determinism contract both). Each full-ring encounter bumps
+  // overflow_spins(), so a chronically undersized ring is visible in
+  // PdesNet::mailbox_overflow_spins() instead of just being wall-clock loss.
   void push(PdesMail&& m) noexcept {
-    while (!try_push(std::move(m))) std::this_thread::yield();
+    if (!try_push(std::move(m))) {
+      overflow_spins_.fetch_add(1, std::memory_order_relaxed);
+      do {
+        std::this_thread::yield();
+      } while (!try_push(std::move(m)));
+    }
   }
 
   // Consumer side. Returns false when empty.
@@ -80,12 +92,19 @@ class PdesMailbox {
            head_.load(std::memory_order_acquire);
   }
 
+  // Number of push() calls that found the ring full and had to spin —
+  // wall-clock-only observability (bit-identical results either way).
+  std::uint64_t overflow_spins() const noexcept {
+    return overflow_spins_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Cursors on separate cache lines so producer and consumer don't false-
   // share; slots are written by the producer and read by the consumer with
   // the tail_ release/acquire pair ordering the hand-off.
   alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  std::atomic<std::uint64_t> overflow_spins_{0};
   std::unique_ptr<PdesMail[]> slots_;
 };
 

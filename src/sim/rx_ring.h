@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -20,15 +21,31 @@
 
 namespace srv6bpf::sim {
 
+// What to do with an arriving packet when the ring is at its limit. Both are
+// explicit, counted policies (RxRing::overflows; the node charges
+// drops_rx_queue for the losing packet either way):
+//   kDropNewest — tail drop, the historical NIC behaviour: the arrival is
+//                 refused, queued packets keep their service order.
+//   kDropOldest — head drop: the oldest queued packet is evicted to admit
+//                 the arrival, bounding queueing delay under overload at the
+//                 cost of reordering-free-ness of *which* packets survive
+//                 (CoDel-ish head dropping; per-flow order of survivors is
+//                 still FIFO).
+enum class RxOverflowPolicy : std::uint8_t { kDropNewest, kDropOldest };
+
 class RxRing {
  public:
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
 
   // Enqueues unless the ring already holds `limit` packets (tail drop —
-  // the caller counts it). Grows the slot array to `limit` on first use.
+  // the caller counts it; overflows() counts it here too). Grows the slot
+  // array to `limit` on first use.
   bool push(net::Packet&& p, std::size_t limit) {
-    if (count_ >= limit) return false;
+    if (count_ >= limit) {
+      ++overflows_;
+      return false;
+    }
     if (slots_.size() < limit) grow(limit);
     std::size_t pos = head_ + count_;
     if (pos >= slots_.size()) pos -= slots_.size();
@@ -46,6 +63,25 @@ class RxRing {
     return p;
   }
 
+  // Evicts the oldest queued packet to make room (the kDropOldest policy's
+  // overflow action — the caller charges the drop for the evictee, then
+  // push() is guaranteed to succeed). Counts an overflow. Precondition:
+  // !empty().
+  net::Packet evict_oldest() {
+    ++overflows_;
+    return pop();
+  }
+
+  // Discards every queued packet (node crash teardown), handing each to
+  // `fn(Packet&&)` so the caller can account it before the buffer recycles.
+  template <typename Fn>
+  void flush(Fn&& fn) {
+    while (!empty()) fn(pop());
+  }
+
+  // Overflow events on this ring (either policy), since construction.
+  std::uint64_t overflows() const noexcept { return overflows_; }
+
  private:
   void grow(std::size_t limit) {
     std::vector<net::Packet> grown(limit);
@@ -61,6 +97,7 @@ class RxRing {
   std::vector<net::Packet> slots_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
+  std::uint64_t overflows_ = 0;
 };
 
 }  // namespace srv6bpf::sim

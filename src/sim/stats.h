@@ -24,6 +24,8 @@ enum class DropReason : std::size_t {
   kVerdict,       // seg6local / BPF_DROP / invalid SRH
   kMalformed,
   kLinkDown,      // egress interface's link administratively/physically down
+  kNoBuffer,      // BufferPool hard cap: no buffer for a new packet
+  kNodeDown,      // node crashed: arrival/emission while the stack is gone
   kCount,
 };
 inline constexpr std::size_t kDropReasonCount =
@@ -70,6 +72,13 @@ struct NodeStats {
   std::uint64_t drops_verdict = 0;    // seg6local / BPF_DROP / invalid SRH
   std::uint64_t drops_malformed = 0;
   std::uint64_t drops_link_down = 0;  // egress link was down at transmit
+  // Graceful-degradation drops: the BufferPool hard cap refused storage for
+  // a new packet (net::BufferPool::set_max_buffers) — the accounted
+  // alternative to an alloc storm under exhaustion.
+  std::uint64_t drops_no_buffer = 0;
+  // Packets that reached (or originated on) a node while it was crashed
+  // (Node::crash — the stack, rings and tables were torn down).
+  std::uint64_t drops_node_down = 0;
   std::uint64_t icmp_time_exceeded_sent = 0;
   // SRv6 fast-reroute activations: packets steered onto a route's
   // precomputed backup (seg6::FrrBackup) because the primary nexthop's link
@@ -83,8 +92,8 @@ struct NodeStats {
   // so the values are burst-invariant like every other counter here.
   static constexpr std::uint64_t kNeverDropped = ~0ull;
   std::uint64_t first_drop_ns[kDropReasonCount] = {
-      kNeverDropped, kNeverDropped, kNeverDropped,
-      kNeverDropped, kNeverDropped, kNeverDropped};
+      kNeverDropped, kNeverDropped, kNeverDropped, kNeverDropped,
+      kNeverDropped, kNeverDropped, kNeverDropped, kNeverDropped};
 
   // Bumps the counter for `reason` and records the first-occurrence time.
   void note_drop(DropReason reason, std::uint64_t at_ns) {
@@ -95,6 +104,8 @@ struct NodeStats {
       case DropReason::kVerdict: ++drops_verdict; break;
       case DropReason::kMalformed: ++drops_malformed; break;
       case DropReason::kLinkDown: ++drops_link_down; break;
+      case DropReason::kNoBuffer: ++drops_no_buffer; break;
+      case DropReason::kNodeDown: ++drops_node_down; break;
       case DropReason::kCount: return;
     }
     std::uint64_t& first = first_drop_ns[static_cast<std::size_t>(reason)];
@@ -126,6 +137,8 @@ struct NodeStats {
     drops_verdict += o.drops_verdict;
     drops_malformed += o.drops_malformed;
     drops_link_down += o.drops_link_down;
+    drops_no_buffer += o.drops_no_buffer;
+    drops_node_down += o.drops_node_down;
     icmp_time_exceeded_sent += o.icmp_time_exceeded_sent;
     frr_reroutes += o.frr_reroutes;
     service_events += o.service_events;
@@ -141,7 +154,8 @@ struct NodeStats {
 
   std::uint64_t total_drops() const noexcept {
     return drops_rx_queue + drops_no_route + drops_ttl + drops_verdict +
-           drops_malformed + drops_link_down;
+           drops_malformed + drops_link_down + drops_no_buffer +
+           drops_node_down;
   }
 };
 
